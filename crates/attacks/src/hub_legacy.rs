@@ -1,0 +1,309 @@
+//! The hub attack against **legacy** Cyclon (paper §II-B, Figure 3).
+//!
+//! Malicious nodes behave perfectly until an agreed start cycle, then keep
+//! gossiping at the correct rate but present views consisting exclusively
+//! of fabricated descriptors pointing at random members of their party.
+//! Because legacy Cyclon trusts whatever a partner presents, every
+//! exchange with a malicious node replaces up to `s` legitimate links with
+//! malicious ones and destroys the legitimate descriptors handed over —
+//! the takeover of Figure 3.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore, SeedableRng};
+use sc_crypto::{NodeId, PublicKey};
+use sc_cyclon::{CyclonMsg, CyclonNode, LegacyDescriptor};
+use sc_sim::{Addr, CycleCtx, NodeCtx, SimNode};
+use std::rc::Rc;
+
+/// Shared roster of the colluding party (paper §II-C: members "collude
+/// with each other, have mutual knowledge about the network, share the
+/// same pool of node descriptors").
+#[derive(Debug)]
+pub struct LegacyParty {
+    /// All malicious members as (id, address).
+    pub members: Vec<(NodeId, Addr)>,
+    /// Addresses of every node in the network (mutual knowledge), used
+    /// for uniformly random victim selection.
+    pub all_addrs: Vec<Addr>,
+}
+
+/// A legacy-Cyclon hub attacker.
+#[derive(Debug)]
+pub struct LegacyHubAttacker {
+    inner: CyclonNode,
+    party: Rc<LegacyParty>,
+    attack_start: u64,
+    swap_len: usize,
+    rng: SmallRng,
+}
+
+impl LegacyHubAttacker {
+    /// Creates an attacker that behaves correctly (as `inner`) until
+    /// `attack_start`, then floods `swap_len` malicious descriptors per
+    /// exchange.
+    pub fn new(
+        inner: CyclonNode,
+        party: Rc<LegacyParty>,
+        attack_start: u64,
+        swap_len: usize,
+        rng_seed: [u8; 32],
+    ) -> Self {
+        assert!(swap_len > 0, "swap length must be positive");
+        LegacyHubAttacker {
+            inner,
+            party,
+            attack_start,
+            swap_len,
+            rng: SmallRng::from_seed(rng_seed),
+        }
+    }
+
+    /// The attacker's node id.
+    pub fn id(&self) -> NodeId {
+        self.inner.id()
+    }
+
+    fn attacking(&self, cycle: u64) -> bool {
+        cycle >= self.attack_start
+    }
+
+    /// Fabricates `k` fresh descriptors *routing* to random party members.
+    ///
+    /// Legacy Cyclon descriptors are unauthenticated, so the attacker mints
+    /// a brand-new sybil ID per descriptor — defeating the victims'
+    /// duplicate-ID filtering entirely — while the network address (the
+    /// part that matters for control of traffic) belongs to the party.
+    /// SecureCyclon closes exactly this hole: descriptors must be signed
+    /// by their ID's key, and identity acquisition is assumed expensive
+    /// (§II-A, Sybil resistance).
+    fn fabricate(&mut self, k: usize) -> Vec<LegacyDescriptor> {
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            let &(_, addr) = self
+                .party
+                .members
+                .choose(&mut self.rng)
+                .expect("party is never empty");
+            let mut bytes = [0u8; 32];
+            self.rng.fill_bytes(&mut bytes);
+            bytes[0] = 2; // a well-formed (keyed-hash) identity tag
+            let sybil = PublicKey::from_bytes(bytes).expect("tag 2 is valid");
+            out.push(LegacyDescriptor::fresh(sybil, addr));
+        }
+        out
+    }
+
+    /// Active side, generic for wrapper enums.
+    pub fn on_cycle_any<N: SimNode<Msg = CyclonMsg>>(&mut self, ctx: &mut CycleCtx<'_, N>) {
+        if !self.attacking(ctx.cycle()) {
+            return self.inner.on_cycle_any(ctx);
+        }
+        // Correct rate, correct-looking exchange — but the payload points
+        // exclusively at the malicious party, and the victim is chosen
+        // uniformly at random (§II-C).
+        let victim = self.party.all_addrs[self.rng.gen_range(0..self.party.all_addrs.len())];
+        let payload = self.fabricate(self.swap_len);
+        // Whatever the victim returns is discarded: the attacker destroys
+        // legitimate descriptors to starve the overlay.
+        let _ = ctx.rpc(
+            victim,
+            CyclonMsg::Shuffle {
+                descriptors: payload,
+            },
+        );
+    }
+
+    /// Passive side, reusable by wrapper enums.
+    pub fn on_rpc_any(
+        &mut self,
+        from: Addr,
+        msg: CyclonMsg,
+        ctx: &mut NodeCtx<'_, CyclonMsg>,
+    ) -> Option<CyclonMsg> {
+        if !self.attacking(ctx.cycle()) {
+            return self.inner.on_rpc_any(from, msg, ctx);
+        }
+        match msg {
+            CyclonMsg::Shuffle { descriptors } => {
+                // Swallow the victim's descriptors, answer with malicious
+                // ones.
+                drop(descriptors);
+                Some(CyclonMsg::ShuffleResponse {
+                    descriptors: self.fabricate(self.swap_len),
+                })
+            }
+            CyclonMsg::ShuffleResponse { .. } => None,
+        }
+    }
+}
+
+impl SimNode for LegacyHubAttacker {
+    type Msg = CyclonMsg;
+
+    fn on_cycle(&mut self, ctx: &mut CycleCtx<'_, Self>) {
+        self.on_cycle_any(ctx);
+    }
+
+    fn on_rpc(
+        &mut self,
+        from: Addr,
+        msg: Self::Msg,
+        ctx: &mut NodeCtx<'_, Self::Msg>,
+    ) -> Option<Self::Msg> {
+        self.on_rpc_any(from, msg, ctx)
+    }
+
+    fn on_oneway(&mut self, _from: Addr, _msg: Self::Msg, _ctx: &mut NodeCtx<'_, Self::Msg>) {}
+}
+
+/// A node in a mixed legacy network: honest or hub attacker.
+#[derive(Debug)]
+pub enum LegacyNet {
+    /// A correct Cyclon node.
+    Honest(Box<CyclonNode>),
+    /// A colluding hub attacker.
+    Malicious(Box<LegacyHubAttacker>),
+}
+
+impl LegacyNet {
+    /// Whether this node is malicious.
+    pub fn is_malicious(&self) -> bool {
+        matches!(self, LegacyNet::Malicious(_))
+    }
+
+    /// The honest node's view, if honest.
+    pub fn honest_view(&self) -> Option<&sc_cyclon::View> {
+        match self {
+            LegacyNet::Honest(n) => Some(n.view()),
+            LegacyNet::Malicious(_) => None,
+        }
+    }
+}
+
+impl SimNode for LegacyNet {
+    type Msg = CyclonMsg;
+
+    fn on_cycle(&mut self, ctx: &mut CycleCtx<'_, Self>) {
+        match self {
+            LegacyNet::Honest(n) => n.on_cycle_any(ctx),
+            LegacyNet::Malicious(n) => n.on_cycle_any(ctx),
+        }
+    }
+
+    fn on_rpc(
+        &mut self,
+        from: Addr,
+        msg: Self::Msg,
+        ctx: &mut NodeCtx<'_, Self::Msg>,
+    ) -> Option<Self::Msg> {
+        match self {
+            LegacyNet::Honest(n) => n.on_rpc_any(from, msg, ctx),
+            LegacyNet::Malicious(n) => n.on_rpc_any(from, msg, ctx),
+        }
+    }
+
+    fn on_oneway(&mut self, _from: Addr, _msg: Self::Msg, _ctx: &mut NodeCtx<'_, Self::Msg>) {}
+}
+
+/// Parameters for a mixed legacy-Cyclon network.
+#[derive(Clone, Copy, Debug)]
+pub struct LegacyNetParams {
+    /// Total nodes.
+    pub n: usize,
+    /// Malicious nodes among them (addresses `0..n_malicious`).
+    pub n_malicious: usize,
+    /// Protocol configuration.
+    pub cfg: sc_cyclon::CyclonConfig,
+    /// Cycle at which the attack starts.
+    pub attack_start: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Builds a ring-bootstrapped mixed legacy network. Returns the engine and
+/// the set of malicious addresses (the hub attack is measured by where
+/// links *route*, since sybil IDs defeat ID-based counting).
+pub fn build_legacy_network(
+    params: LegacyNetParams,
+) -> (sc_sim::Engine<LegacyNet>, std::collections::HashSet<Addr>) {
+    use sc_crypto::{Keypair, Scheme};
+    let LegacyNetParams {
+        n,
+        n_malicious,
+        cfg,
+        attack_start,
+        seed,
+    } = params;
+    assert!(n_malicious < n, "need at least one honest node");
+    let keypairs: Vec<Keypair> = (0..n)
+        .map(|i| {
+            Keypair::from_seed(
+                Scheme::KeyedHash,
+                sc_sim::rng::derive_seed(seed, "identity", i as u64),
+            )
+        })
+        .collect();
+    let members: Vec<(NodeId, Addr)> = (0..n_malicious)
+        .map(|i| (keypairs[i].public(), i as Addr))
+        .collect();
+    let party = Rc::new(LegacyParty {
+        members,
+        all_addrs: (0..n as Addr).collect(),
+    });
+    let mut engine = sc_sim::Engine::new(sc_sim::SimConfig::seeded(seed));
+    for (i, kp) in keypairs.iter().enumerate() {
+        let mut inner = CyclonNode::new(
+            kp.public(),
+            i as Addr,
+            cfg,
+            sc_sim::rng::derive_seed(seed, "node", i as u64),
+        );
+        let boots: Vec<(NodeId, Addr)> = (1..=4)
+            .map(|k| {
+                let j = (i + k) % n;
+                (keypairs[j].public(), j as Addr)
+            })
+            .collect();
+        inner.bootstrap(boots);
+        let node = if i < n_malicious {
+            LegacyNet::Malicious(Box::new(LegacyHubAttacker::new(
+                inner,
+                Rc::clone(&party),
+                attack_start,
+                cfg.swap_len,
+                sc_sim::rng::derive_seed(seed, "attacker", i as u64),
+            )))
+        } else {
+            LegacyNet::Honest(Box::new(inner))
+        };
+        engine.spawn_with(|_| node);
+    }
+    (engine, (0..n_malicious as Addr).collect())
+}
+
+/// Fraction of honest links routing to malicious addresses (the y-axis of
+/// Figure 3).
+pub fn legacy_malicious_link_fraction(
+    engine: &sc_sim::Engine<LegacyNet>,
+    malicious_addrs: &std::collections::HashSet<Addr>,
+) -> f64 {
+    let mut mal = 0usize;
+    let mut total = 0usize;
+    for (_, node) in engine.nodes() {
+        let Some(view) = node.honest_view() else {
+            continue;
+        };
+        for d in view.iter() {
+            total += 1;
+            if malicious_addrs.contains(&d.addr) {
+                mal += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        mal as f64 / total as f64
+    }
+}

@@ -1,0 +1,317 @@
+//! Mixed honest/malicious SecureCyclon networks: node enum, builder, and
+//! the measurement helpers behind every attack figure.
+
+use crate::malicious::{MaliciousSecureNode, SecureAttack};
+use crate::party::SecureParty;
+use rand::seq::SliceRandom;
+use sc_core::{
+    default_phase, ring_bootstrap, SecureConfig, SecureCyclonNode, SecureMsg,
+};
+use sc_crypto::{Keypair, NodeId, Scheme};
+use sc_sim::{Addr, CycleCtx, Engine, NetworkModel, NodeCtx, SimConfig, SimNode};
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// A node in a mixed SecureCyclon network.
+#[derive(Debug)]
+pub enum SecureNet {
+    /// A correct node running the full protocol.
+    Honest(Box<SecureCyclonNode>),
+    /// A colluding malicious node.
+    Malicious(Box<MaliciousSecureNode>),
+}
+
+impl SecureNet {
+    /// Whether the node is malicious.
+    pub fn is_malicious(&self) -> bool {
+        matches!(self, SecureNet::Malicious(_))
+    }
+
+    /// The honest node, if honest.
+    pub fn honest(&self) -> Option<&SecureCyclonNode> {
+        match self {
+            SecureNet::Honest(n) => Some(n),
+            SecureNet::Malicious(_) => None,
+        }
+    }
+}
+
+impl SimNode for SecureNet {
+    type Msg = SecureMsg;
+
+    fn on_cycle(&mut self, ctx: &mut CycleCtx<'_, Self>) {
+        match self {
+            SecureNet::Honest(n) => n.on_cycle_any(ctx),
+            SecureNet::Malicious(n) => n.on_cycle_any(ctx),
+        }
+    }
+
+    fn on_rpc(
+        &mut self,
+        from: Addr,
+        msg: Self::Msg,
+        ctx: &mut NodeCtx<'_, Self::Msg>,
+    ) -> Option<Self::Msg> {
+        match self {
+            SecureNet::Honest(n) => n.on_rpc_any(from, msg, ctx),
+            SecureNet::Malicious(n) => n.on_rpc_any(from, msg, ctx),
+        }
+    }
+
+    fn on_oneway(&mut self, from: Addr, msg: Self::Msg, ctx: &mut NodeCtx<'_, Self::Msg>) {
+        if let SecureNet::Honest(n) = self {
+            n.on_oneway_any(from, msg, ctx);
+        }
+        // Malicious nodes drop proofs.
+    }
+}
+
+/// Parameters for building a mixed network.
+#[derive(Clone, Debug)]
+pub struct SecureNetParams {
+    /// Total nodes.
+    pub n: usize,
+    /// Malicious nodes among them.
+    pub n_malicious: usize,
+    /// Protocol configuration for honest nodes (malicious copy ℓ, s, and
+    /// the tit-for-tat flag from it).
+    pub cfg: SecureConfig,
+    /// The attack strategy.
+    pub attack: SecureAttack,
+    /// Cycle at which malicious nodes start deviating.
+    pub attack_start: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Signature scheme for all identities.
+    pub scheme: Scheme,
+    /// Message-loss model.
+    pub net: NetworkModel,
+}
+
+impl SecureNetParams {
+    /// A reliable-network parameter set with the paper's defaults.
+    pub fn new(n: usize, n_malicious: usize, attack: SecureAttack) -> Self {
+        SecureNetParams {
+            n,
+            n_malicious,
+            cfg: SecureConfig::default(),
+            attack,
+            attack_start: 50,
+            seed: 0,
+            scheme: Scheme::KeyedHash,
+            net: NetworkModel::reliable(),
+        }
+    }
+}
+
+/// Handle to a built mixed network.
+pub struct SecureNetwork {
+    /// The simulation engine.
+    pub engine: Engine<SecureNet>,
+    /// IDs of malicious nodes.
+    pub malicious_ids: HashSet<NodeId>,
+    /// Addresses of malicious nodes.
+    pub malicious_addrs: HashSet<Addr>,
+    /// The shared party state.
+    pub party: Rc<RefCell<SecureParty>>,
+}
+
+/// Builds a bootstrapped mixed network: `n` nodes, of which a random
+/// `n_malicious` belong to the colluding party, all joined through a
+/// legal ring bootstrap so the overlay starts converged and violation-free.
+pub fn build_secure_network(params: SecureNetParams) -> SecureNetwork {
+    let SecureNetParams {
+        n,
+        n_malicious,
+        cfg,
+        attack,
+        attack_start,
+        seed,
+        scheme,
+        net,
+    } = params;
+    let cfg = cfg.validated();
+    assert!(n_malicious < n, "need at least one honest node");
+
+    let keypairs: Vec<Keypair> = (0..n)
+        .map(|i| Keypair::from_seed(scheme, sc_sim::rng::derive_seed(seed, "identity", i as u64)))
+        .collect();
+    let addrs: Vec<Addr> = (0..n as Addr).collect();
+    let phases: Vec<u64> = (0..n)
+        .map(|i| default_phase(i, cfg.ticks_per_cycle))
+        .collect();
+
+    // Uniformly random malicious subset.
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut pick_rng = sc_sim::rng::std_rng(seed, "malicious-pick", 0);
+    indices.shuffle(&mut pick_rng);
+    let malicious_set: HashSet<usize> = indices.into_iter().take(n_malicious).collect();
+
+    let party_kps: Vec<Keypair> = malicious_set
+        .iter()
+        .map(|&i| keypairs[i].clone())
+        .collect();
+    let party_addrs: Vec<Addr> = malicious_set.iter().map(|&i| i as Addr).collect();
+    let party = Rc::new(RefCell::new(SecureParty::new(
+        party_kps,
+        party_addrs,
+        cfg.ticks_per_cycle,
+    )));
+
+    let plan = ring_bootstrap(&keypairs, &addrs, &phases, cfg.view_len, cfg.ticks_per_cycle);
+    let mut engine = Engine::new(SimConfig {
+        seed,
+        net,
+        ticks_per_cycle: cfg.ticks_per_cycle,
+        start_cycle: plan.start_cycle,
+    });
+
+    let mut malicious_ids = HashSet::new();
+    let mut malicious_addrs = HashSet::new();
+    for (i, descs) in plan.per_node.into_iter().enumerate() {
+        let rng_seed = sc_sim::rng::derive_seed(seed, "node", i as u64);
+        if malicious_set.contains(&i) {
+            malicious_ids.insert(keypairs[i].public());
+            malicious_addrs.insert(i as Addr);
+            let mut node = MaliciousSecureNode::new(
+                keypairs[i].clone(),
+                i as Addr,
+                cfg.view_len,
+                cfg.swap_len,
+                cfg.ticks_per_cycle,
+                cfg.tit_for_tat,
+                attack.clone(),
+                attack_start,
+                Rc::clone(&party),
+                rng_seed,
+                phases[i],
+            );
+            for d in descs {
+                node.accept_bootstrap(d);
+            }
+            engine.spawn_with(|_| SecureNet::Malicious(Box::new(node)));
+        } else {
+            let mut node =
+                SecureCyclonNode::new(keypairs[i].clone(), i as Addr, cfg, rng_seed, phases[i]);
+            for d in descs {
+                node.accept_bootstrap(d);
+            }
+            engine.spawn_with(|_| SecureNet::Honest(Box::new(node)));
+        }
+    }
+
+    SecureNetwork {
+        engine,
+        malicious_ids,
+        malicious_addrs,
+        party,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Metrics (the y-axes of Figures 3, 5, 6)
+// ----------------------------------------------------------------------
+
+/// Fraction of links in honest views that point at malicious nodes —
+/// the y-axis of Figures 3 and 5.
+pub fn malicious_link_fraction(engine: &Engine<SecureNet>, malicious: &HashSet<NodeId>) -> f64 {
+    let mut mal = 0usize;
+    let mut total = 0usize;
+    for (_, node) in engine.nodes() {
+        let Some(h) = node.honest() else { continue };
+        for e in h.view().iter() {
+            total += 1;
+            if malicious.contains(&e.desc.creator()) {
+                mal += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        mal as f64 / total as f64
+    }
+}
+
+/// Fraction of links in honest views that are non-swappable — the y-axis
+/// of Figure 6.
+pub fn ns_link_fraction(engine: &Engine<SecureNet>) -> f64 {
+    let mut ns = 0usize;
+    let mut total = 0usize;
+    for (_, node) in engine.nodes() {
+        let Some(h) = node.honest() else { continue };
+        total += h.view().len();
+        ns += h.view().ns_count();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        ns as f64 / total as f64
+    }
+}
+
+/// Average fraction of the malicious population each honest node has
+/// blacklisted (1.0 = every honest node knows every attacker).
+pub fn blacklist_coverage(engine: &Engine<SecureNet>, malicious: &HashSet<NodeId>) -> f64 {
+    if malicious.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut honest = 0usize;
+    for (_, node) in engine.nodes() {
+        let Some(h) = node.honest() else { continue };
+        honest += 1;
+        let known = malicious
+            .iter()
+            .filter(|m| h.blacklist().contains(m))
+            .count();
+        sum += known as f64 / malicious.len() as f64;
+    }
+    if honest == 0 {
+        0.0
+    } else {
+        sum / honest as f64
+    }
+}
+
+/// Fraction of honest nodes whose entire (non-empty) view points at
+/// malicious nodes — the eclipsed residue of Figure 5 (bottom).
+pub fn eclipsed_fraction(engine: &Engine<SecureNet>, malicious: &HashSet<NodeId>) -> f64 {
+    let mut eclipsed = 0usize;
+    let mut honest = 0usize;
+    for (_, node) in engine.nodes() {
+        let Some(h) = node.honest() else { continue };
+        honest += 1;
+        let total = h.view().len();
+        if total == 0 {
+            continue;
+        }
+        let mal = h
+            .view()
+            .iter()
+            .filter(|e| malicious.contains(&e.desc.creator()))
+            .count();
+        if mal == total {
+            eclipsed += 1;
+        }
+    }
+    if honest == 0 {
+        0.0
+    } else {
+        eclipsed as f64 / honest as f64
+    }
+}
+
+/// Total violation proofs generated by honest nodes, by kind
+/// `(cloning, frequency)`.
+pub fn proofs_generated(engine: &Engine<SecureNet>) -> (u64, u64) {
+    let mut cloning = 0;
+    let mut frequency = 0;
+    for (_, node) in engine.nodes() {
+        let Some(h) = node.honest() else { continue };
+        cloning += h.stats().proofs_generated_cloning;
+        frequency += h.stats().proofs_generated_frequency;
+    }
+    (cloning, frequency)
+}

@@ -1,0 +1,50 @@
+//! Microbenchmarks of the cryptographic substrate: hashing, signing,
+//! verification under both schemes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sc_crypto::{sha256, Keypair, Scheme};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(std::hint::black_box(data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sign_verify(c: &mut Criterion) {
+    let msg = vec![0x5au8; 128];
+    for (name, scheme) in [("schnorr61", Scheme::Schnorr61), ("keyed", Scheme::KeyedHash)] {
+        let kp = Keypair::from_seed(scheme, [7; 32]);
+        let sig = kp.sign(&msg);
+        c.bench_function(&format!("sign/{name}"), |b| {
+            b.iter(|| kp.sign(std::hint::black_box(&msg)))
+        });
+        c.bench_function(&format!("verify/{name}"), |b| {
+            b.iter(|| {
+                assert!(kp
+                    .public()
+                    .verify(std::hint::black_box(&msg), std::hint::black_box(&sig)))
+            })
+        });
+    }
+}
+
+fn bench_keygen(c: &mut Criterion) {
+    c.bench_function("keygen/schnorr61", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut seed = [0u8; 32];
+            seed[..8].copy_from_slice(&i.to_le_bytes());
+            Keypair::from_seed(Scheme::Schnorr61, seed)
+        })
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_sign_verify, bench_keygen);
+criterion_main!(benches);

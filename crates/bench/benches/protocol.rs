@@ -1,0 +1,92 @@
+//! Benchmarks of SecureCyclon's per-descriptor costs: chain construction,
+//! full verification, the §IV-B checks, and the wire codec — the numbers
+//! behind the paper's claim that the protocol has "very reasonable
+//! resource demands".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_core::{wire, SampleCache, SecureDescriptor, Timestamp};
+use sc_crypto::{Keypair, Scheme};
+
+fn pool(n: usize) -> Vec<Keypair> {
+    (0..n)
+        .map(|i| {
+            let mut seed = [0u8; 32];
+            seed[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            Keypair::from_seed(Scheme::KeyedHash, seed)
+        })
+        .collect()
+}
+
+fn chained(keys: &[Keypair], transfers: usize) -> SecureDescriptor {
+    let mut d = SecureDescriptor::create(&keys[0], 0, Timestamp(0));
+    for i in 0..transfers {
+        let owner = &keys[i % keys.len()];
+        let next = &keys[(i + 1) % keys.len()];
+        d = d.transfer(owner, next.public()).unwrap();
+    }
+    d
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    let keys = pool(16);
+    // The paper's average descriptor sees 2s = 6 transfers (§VI-A).
+    let d = chained(&keys, 6);
+    let owner = &keys[6 % keys.len()];
+    let next = keys[(7) % keys.len()].public();
+    c.bench_function("descriptor/transfer_at_t6", |b| {
+        b.iter(|| d.transfer(std::hint::black_box(owner), next).unwrap())
+    });
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let keys = pool(16);
+    let mut group = c.benchmark_group("descriptor/verify");
+    for t in [0usize, 3, 6, 12] {
+        let d = chained(&keys, t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &d, |b, d| {
+            b.iter(|| d.verify().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let keys = pool(64);
+    // A realistic sample stream: many distinct descriptors, repeat views.
+    let descriptors: Vec<SecureDescriptor> = (0..256)
+        .map(|i| {
+            let mut d = SecureDescriptor::create(&keys[i % 64], 0, Timestamp(i as u64 * 1000));
+            let owner = &keys[i % 64];
+            d = d.transfer(owner, keys[(i + 1) % 64].public()).unwrap();
+            d
+        })
+        .collect();
+    c.bench_function("checks/observe_256_samples", |b| {
+        b.iter(|| {
+            let mut cache = SampleCache::new(60);
+            for d in &descriptors {
+                std::hint::black_box(cache.observe(d, 0, 1000));
+            }
+        })
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let keys = pool(16);
+    let d = chained(&keys, 6);
+    let mut buf = Vec::new();
+    wire::encode_descriptor(&d, &mut buf);
+    c.bench_function("wire/encode_t6", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            wire::encode_descriptor(std::hint::black_box(&d), &mut out);
+            out
+        })
+    });
+    c.bench_function("wire/decode_t6", |b| {
+        b.iter(|| wire::decode_descriptor(std::hint::black_box(&buf)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_transfer, bench_verify, bench_observe, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Whole-simulation benchmarks: the per-cycle cost of the engine with
+//! each protocol, and scaled-down versions of every figure's workload so
+//! `cargo bench` exercises the entire evaluation pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_attacks::{
+    build_legacy_network, build_secure_network, CloneLedger, LegacyNetParams, SecureAttack,
+    SecureNetParams,
+};
+use sc_core::SecureConfig;
+use sc_cyclon::CyclonConfig;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const N: usize = 200;
+
+fn small_cfg() -> SecureConfig {
+    SecureConfig::default().with_view_len(10).with_swap_len(3)
+}
+
+fn bench_cycle_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.bench_function("legacy_200", |b| {
+        let (mut engine, _) = build_legacy_network(LegacyNetParams {
+            n: N,
+            n_malicious: 0,
+            cfg: CyclonConfig {
+                view_len: 10,
+                swap_len: 3,
+            },
+            attack_start: u64::MAX,
+            seed: 1,
+        });
+        engine.run_cycles(20); // warm up
+        b.iter(|| engine.run_cycle());
+    });
+
+    group.bench_function("secure_200", |b| {
+        let mut params = SecureNetParams::new(N, 0, SecureAttack::None);
+        params.cfg = small_cfg();
+        let mut net = build_secure_network(params);
+        net.engine.run_cycles(20);
+        b.iter(|| net.engine.run_cycle());
+    });
+
+    group.bench_function("secure_200_under_hub_attack", |b| {
+        let mut params = SecureNetParams::new(N, 20, SecureAttack::Hub);
+        params.cfg = small_cfg();
+        params.attack_start = 10;
+        // Keep the attack "hot": eviction off so attackers stay active.
+        params.cfg.eviction_enabled = false;
+        let mut net = build_secure_network(params);
+        net.engine.run_cycles(20);
+        b.iter(|| net.engine.run_cycle());
+    });
+    group.finish();
+}
+
+/// Scaled-down end-to-end figure workloads (one sample each — these are
+/// seconds-long; the point is pipeline coverage and coarse tracking).
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+
+    group.bench_function("fig3_takeover_smoke", |b| {
+        b.iter(|| {
+            let (mut engine, _) = build_legacy_network(LegacyNetParams {
+                n: N,
+                n_malicious: 10,
+                cfg: CyclonConfig {
+                    view_len: 10,
+                    swap_len: 5,
+                },
+                attack_start: 10,
+                seed: 2,
+            });
+            engine.run_cycles(60);
+            engine.alive_count()
+        })
+    });
+
+    group.bench_function("fig5_defense_smoke", |b| {
+        b.iter(|| {
+            let mut params = SecureNetParams::new(N, 10, SecureAttack::Hub);
+            params.cfg = small_cfg();
+            params.attack_start = 12;
+            params.seed = 3;
+            let mut net = build_secure_network(params);
+            net.engine.run_cycles(40);
+            net.engine.alive_count()
+        })
+    });
+
+    group.bench_function("fig6_depletion_smoke", |b| {
+        b.iter(|| {
+            let mut params = SecureNetParams::new(N, 40, SecureAttack::Depletion);
+            params.cfg = small_cfg();
+            params.attack_start = 12;
+            params.seed = 4;
+            let mut net = build_secure_network(params);
+            net.engine.run_cycles(40);
+            net.engine.alive_count()
+        })
+    });
+
+    group.bench_function("fig7_cloner_smoke", |b| {
+        b.iter(|| {
+            let ledger = Rc::new(RefCell::new(CloneLedger::new()));
+            let mut params = SecureNetParams::new(
+                N,
+                10,
+                SecureAttack::Cloner {
+                    target_age: 4,
+                    ledger,
+                },
+            );
+            params.cfg = small_cfg();
+            params.cfg.eviction_enabled = false;
+            params.attack_start = 12;
+            params.seed = 5;
+            let mut net = build_secure_network(params);
+            net.engine.run_cycles(40);
+            net.engine.alive_count()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_costs, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Shared helpers for the benchmark suite (see the `benches/` directory).
+#![forbid(unsafe_code)]

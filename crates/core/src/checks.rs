@@ -1,0 +1,437 @@
+//! The sample cache and the two violation checks of §IV-B.
+//!
+//! Every descriptor a node receives — owned or merely copied ("sample") —
+//! is run through:
+//!
+//! * the **frequency check**: its creation timestamp is compared against
+//!   all cached samples by the same creator; two distinct descriptors
+//!   closer than the gossip period prove a frequency violation;
+//! * the **ownership check**: if a sample with the same [`DescriptorId`]
+//!   is cached, the two chains of ownership must be compatible (one a
+//!   prefix of the other); divergence proves a cloning violation by the
+//!   owner at the fork.
+//!
+//! Descriptors that pass are cached for future cross-checking. The cache
+//! retains samples for a configurable number of cycles — descriptors live
+//! ~ℓ cycles (§VI-A), so a few multiples of ℓ preserves every useful
+//! conflict while bounding memory.
+//!
+//! # Lazy verification
+//!
+//! Samples are cached **without** verifying their signatures; the
+//! expensive chain verification runs only when two copies actually
+//! conflict, inside proof construction ([`ViolationProof`] re-validates
+//! both sides). This is safe: a forged sample can never produce a valid
+//! proof against anyone (proofs are self-certifying), and at conflict
+//! time whichever side fails verification is simply evicted. Honest
+//! networks therefore pay hashing costs only for owned descriptors, and
+//! verification costs only under attack.
+
+use crate::chain::{compare_chains, ChainRelation, CompareError};
+use crate::descriptor::{DescriptorId, LinkKind, SecureDescriptor};
+use crate::proof::ViolationProof;
+use crate::time::Timestamp;
+use sc_crypto::NodeId;
+use std::collections::{BTreeMap, HashMap};
+
+/// Result of observing one descriptor against the cache.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Observation {
+    /// First sighting; the descriptor was cached.
+    New,
+    /// A longer chain for a known descriptor; the cache was updated.
+    Extended,
+    /// Identical to or older than the cached copy; nothing to do.
+    AlreadyKnown,
+    /// The sanctioned transfer / non-swappable-redemption divergence
+    /// (§V-A); the circulating (transfer-side) copy was retained.
+    NsException,
+    /// The descriptor conflicted with a cached sample, but one of the two
+    /// copies fails signature verification — someone injected a forged
+    /// descriptor. The forged side was evicted; no violation is provable.
+    Forged,
+    /// The descriptor conflicts with a cached sample: indisputable proof
+    /// of a violation.
+    Violation(Box<ViolationProof>),
+}
+
+struct Cached {
+    desc: SecureDescriptor,
+    last_seen: u64,
+}
+
+/// Cache of descriptor samples with the secondary index needed by the
+/// frequency check.
+pub struct SampleCache {
+    by_id: HashMap<DescriptorId, Cached>,
+    /// creator → creation timestamp → (), for range queries. The
+    /// `DescriptorId` is reconstructible as `(creator, timestamp)`.
+    by_creator: HashMap<NodeId, BTreeMap<u64, ()>>,
+    retention_cycles: u64,
+}
+
+impl core::fmt::Debug for SampleCache {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SampleCache")
+            .field("samples", &self.by_id.len())
+            .field("creators", &self.by_creator.len())
+            .field("retention_cycles", &self.retention_cycles)
+            .finish()
+    }
+}
+
+impl SampleCache {
+    /// Creates an empty cache retaining samples for `retention_cycles`
+    /// cycles after their last sighting.
+    pub fn new(retention_cycles: u64) -> Self {
+        SampleCache {
+            by_id: HashMap::new(),
+            by_creator: HashMap::new(),
+            retention_cycles,
+        }
+    }
+
+    /// Number of cached samples.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Returns the cached copy of `id`, if any.
+    pub fn get(&self, id: &DescriptorId) -> Option<&SecureDescriptor> {
+        self.by_id.get(id).map(|c| &c.desc)
+    }
+
+    /// Runs both §IV-B checks on `desc` and caches it if it passes.
+    ///
+    /// Signature verification is lazy (see module docs): it runs only
+    /// when `desc` conflicts with a cached copy, as part of proof
+    /// construction.
+    pub fn observe(
+        &mut self,
+        desc: &SecureDescriptor,
+        now_cycle: u64,
+        period_ticks: u64,
+    ) -> Observation {
+        let id = desc.id();
+
+        // Ownership check against a cached copy of the same token.
+        if let Some(cached) = self.by_id.get_mut(&id) {
+            cached.last_seen = now_cycle;
+            match compare_chains(&cached.desc, desc) {
+                Ok(ChainRelation::Identical) | Ok(ChainRelation::LeftExtendsRight) => {
+                    return Observation::AlreadyKnown;
+                }
+                Ok(ChainRelation::RightExtendsLeft) => {
+                    cached.desc = desc.clone();
+                    return Observation::Extended;
+                }
+                Ok(ChainRelation::Divergent {
+                    index,
+                    ns_exception: true,
+                    ..
+                }) => {
+                    // Keep whichever copy continues circulating (the
+                    // transfer side); the NS copy is terminal.
+                    let cached_is_ns = cached
+                        .desc
+                        .chain()
+                        .get(index)
+                        .is_some_and(|l| l.kind == LinkKind::RedeemNonSwappable);
+                    if cached_is_ns {
+                        cached.desc = desc.clone();
+                    }
+                    return Observation::NsException;
+                }
+                Ok(ChainRelation::Divergent {
+                    ns_exception: false,
+                    ..
+                }) => {
+                    return match ViolationProof::cloning(cached.desc.clone(), desc.clone()) {
+                        Ok(proof) => Observation::Violation(Box::new(proof)),
+                        Err(_) => {
+                            // One side is forged: keep whichever verifies.
+                            if cached.desc.verify().is_err() && desc.verify().is_ok() {
+                                cached.desc = desc.clone();
+                            }
+                            Observation::Forged
+                        }
+                    };
+                }
+                Err(CompareError::GenesisMismatch) => {
+                    // Two distinct creations with the same timestamp:
+                    // a frequency violation with Δt = 0.
+                    return match ViolationProof::frequency(
+                        cached.desc.clone(),
+                        desc.clone(),
+                        period_ticks,
+                    ) {
+                        Ok(proof) => Observation::Violation(Box::new(proof)),
+                        Err(_) => {
+                            if cached.desc.verify().is_err() && desc.verify().is_ok() {
+                                cached.desc = desc.clone();
+                            }
+                            Observation::Forged
+                        }
+                    };
+                }
+                Err(CompareError::DifferentIds) => unreachable!("looked up by id"),
+            }
+        }
+
+        // Frequency check against other creations by the same creator.
+        if let Some(conflict) = self.frequency_conflict(&id, period_ticks) {
+            let other = self
+                .by_id
+                .get(&conflict)
+                .expect("index entries always have samples")
+                .desc
+                .clone();
+            return match ViolationProof::frequency(other, desc.clone(), period_ticks) {
+                Ok(proof) => Observation::Violation(Box::new(proof)),
+                Err(_) => {
+                    // One of the two creations is forged; evict it if it
+                    // is the cached one and the incoming verifies.
+                    if desc.verify().is_ok() {
+                        if let Some(c) = self.by_id.get_mut(&conflict) {
+                            if c.desc.verify().is_err() {
+                                self.remove_entry(&conflict);
+                            }
+                        }
+                    }
+                    Observation::Forged
+                }
+            };
+        }
+
+        self.by_creator
+            .entry(id.creator)
+            .or_default()
+            .insert(id.created_at.ticks(), ());
+        self.by_id.insert(
+            id,
+            Cached {
+                desc: desc.clone(),
+                last_seen: now_cycle,
+            },
+        );
+        Observation::New
+    }
+
+    /// Finds a cached creation by the same creator strictly closer than
+    /// one period to `id.created_at` (excluding `id` itself).
+    fn frequency_conflict(&self, id: &DescriptorId, period_ticks: u64) -> Option<DescriptorId> {
+        let index = self.by_creator.get(&id.creator)?;
+        let ts = id.created_at.ticks();
+        let lo = ts.saturating_sub(period_ticks - 1);
+        let hi = ts.saturating_add(period_ticks - 1);
+        index
+            .range(lo..=hi)
+            .map(|(&t, ())| t)
+            .find(|&t| t != ts)
+            .map(|t| DescriptorId {
+                creator: id.creator,
+                created_at: Timestamp(t),
+            })
+    }
+
+    /// Removes a single entry and its index record.
+    fn remove_entry(&mut self, id: &DescriptorId) {
+        if self.by_id.remove(id).is_some() {
+            if let Some(index) = self.by_creator.get_mut(&id.creator) {
+                index.remove(&id.created_at.ticks());
+                if index.is_empty() {
+                    self.by_creator.remove(&id.creator);
+                }
+            }
+        }
+    }
+
+    /// Drops samples not seen for longer than the retention window.
+    pub fn prune(&mut self, now_cycle: u64) {
+        let horizon = now_cycle.saturating_sub(self.retention_cycles);
+        let by_creator = &mut self.by_creator;
+        self.by_id.retain(|id, cached| {
+            let keep = cached.last_seen >= horizon;
+            if !keep {
+                if let Some(index) = by_creator.get_mut(&id.creator) {
+                    index.remove(&id.created_at.ticks());
+                    if index.is_empty() {
+                        by_creator.remove(&id.creator);
+                    }
+                }
+            }
+            keep
+        });
+    }
+
+    /// Removes every sample created by `creator` (post-blacklist purge).
+    pub fn purge_creator(&mut self, creator: &NodeId) {
+        if self.by_creator.remove(creator).is_some() {
+            self.by_id.retain(|id, _| id.creator != *creator);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proof::ProofKind;
+    use sc_crypto::{Keypair, Scheme};
+
+    const PERIOD: u64 = 1000;
+
+    fn kp(tag: u8) -> Keypair {
+        Keypair::from_seed(Scheme::Schnorr61, [tag; 32])
+    }
+
+    #[test]
+    fn new_then_known() {
+        let mut cache = SampleCache::new(60);
+        let d = SecureDescriptor::create(&kp(1), 0, Timestamp(0));
+        assert_eq!(cache.observe(&d, 0, PERIOD), Observation::New);
+        assert_eq!(cache.observe(&d, 1, PERIOD), Observation::AlreadyKnown);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn longer_chain_extends() {
+        let (a, b) = (kp(1), kp(2));
+        let mut cache = SampleCache::new(60);
+        let d = SecureDescriptor::create(&a, 0, Timestamp(0));
+        let handed = d.transfer(&a, b.public()).unwrap();
+        assert_eq!(cache.observe(&d, 0, PERIOD), Observation::New);
+        assert_eq!(cache.observe(&handed, 1, PERIOD), Observation::Extended);
+        // The shorter copy is now strictly older information.
+        assert_eq!(cache.observe(&d, 2, PERIOD), Observation::AlreadyKnown);
+        assert_eq!(cache.get(&d.id()).unwrap().transfer_count(), 1);
+    }
+
+    #[test]
+    fn cloning_detected_with_correct_culprit() {
+        let (a, b, c, d) = (kp(1), kp(2), kp(3), kp(4));
+        let mut cache = SampleCache::new(60);
+        let base = SecureDescriptor::create(&a, 0, Timestamp(0))
+            .transfer(&a, b.public())
+            .unwrap();
+        let left = base.transfer(&b, c.public()).unwrap();
+        let right = base.transfer(&b, d.public()).unwrap();
+        assert_eq!(cache.observe(&left, 0, PERIOD), Observation::New);
+        match cache.observe(&right, 1, PERIOD) {
+            Observation::Violation(proof) => {
+                assert_eq!(proof.kind(), ProofKind::Cloning);
+                assert_eq!(proof.culprit(), b.public());
+                assert!(proof.validate(PERIOD).is_ok());
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frequency_detected_across_distinct_ids() {
+        let a = kp(1);
+        let mut cache = SampleCache::new(60);
+        let d1 = SecureDescriptor::create(&a, 0, Timestamp(5000));
+        let d2 = SecureDescriptor::create(&a, 0, Timestamp(5999));
+        assert_eq!(cache.observe(&d1, 0, PERIOD), Observation::New);
+        match cache.observe(&d2, 0, PERIOD) {
+            Observation::Violation(proof) => {
+                assert_eq!(proof.kind(), ProofKind::Frequency);
+                assert_eq!(proof.culprit(), a.public());
+                assert!(proof.validate(PERIOD).is_ok());
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_period_spacing_is_legal() {
+        let a = kp(1);
+        let mut cache = SampleCache::new(60);
+        for i in 0..5u64 {
+            let d = SecureDescriptor::create(&a, 0, Timestamp(i * PERIOD + 137));
+            assert_eq!(cache.observe(&d, i, PERIOD), Observation::New, "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn same_timestamp_different_genesis_is_frequency() {
+        let a = kp(1);
+        let mut cache = SampleCache::new(60);
+        let d1 = SecureDescriptor::create(&a, 0, Timestamp(5000));
+        let d2 = SecureDescriptor::create(&a, 9, Timestamp(5000));
+        cache.observe(&d1, 0, PERIOD);
+        match cache.observe(&d2, 0, PERIOD) {
+            Observation::Violation(proof) => {
+                assert_eq!(proof.kind(), ProofKind::Frequency);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ns_exception_keeps_circulating_copy() {
+        let (a, b, c) = (kp(1), kp(2), kp(3));
+        let mut cache = SampleCache::new(60);
+        let owned = SecureDescriptor::create(&a, 0, Timestamp(0))
+            .transfer(&a, b.public())
+            .unwrap();
+        let ns_copy = owned.redeem(&b, LinkKind::RedeemNonSwappable).unwrap();
+        let circulating = owned.transfer(&b, c.public()).unwrap();
+        // NS copy arrives first, then the circulating one.
+        assert_eq!(cache.observe(&ns_copy, 0, PERIOD), Observation::New);
+        assert_eq!(cache.observe(&circulating, 0, PERIOD), Observation::NsException);
+        assert_eq!(
+            cache.get(&owned.id()).unwrap().chain().last().unwrap().kind,
+            LinkKind::Transfer,
+            "transfer side retained"
+        );
+        // Other order: circulating cached, NS observed later.
+        let mut cache2 = SampleCache::new(60);
+        assert_eq!(cache2.observe(&circulating, 0, PERIOD), Observation::New);
+        assert_eq!(cache2.observe(&ns_copy, 0, PERIOD), Observation::NsException);
+        assert_eq!(
+            cache2.get(&owned.id()).unwrap().chain().last().unwrap().kind,
+            LinkKind::Transfer
+        );
+    }
+
+    #[test]
+    fn prune_forgets_old_samples() {
+        let a = kp(1);
+        let mut cache = SampleCache::new(10);
+        let d = SecureDescriptor::create(&a, 0, Timestamp(0));
+        cache.observe(&d, 0, PERIOD);
+        cache.prune(5);
+        assert_eq!(cache.len(), 1, "within retention");
+        cache.prune(11);
+        assert_eq!(cache.len(), 0, "expired");
+        // After pruning, re-observing is New again (index cleaned too).
+        assert_eq!(cache.observe(&d, 12, PERIOD), Observation::New);
+    }
+
+    #[test]
+    fn purge_creator_removes_their_samples() {
+        let (a, b) = (kp(1), kp(2));
+        let mut cache = SampleCache::new(60);
+        cache.observe(&SecureDescriptor::create(&a, 0, Timestamp(0)), 0, PERIOD);
+        cache.observe(&SecureDescriptor::create(&b, 0, Timestamp(0)), 0, PERIOD);
+        cache.purge_creator(&a.public());
+        assert_eq!(cache.len(), 1);
+        assert!(cache
+            .get(&DescriptorId {
+                creator: b.public(),
+                created_at: Timestamp(0)
+            })
+            .is_some());
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert!(!format!("{:?}", SampleCache::new(3)).is_empty());
+    }
+}

@@ -1,0 +1,621 @@
+//! Secure node descriptors with chains of ownership.
+//!
+//! This module implements §IV-A of the paper: descriptors are redefined
+//! from plain contact records into "unique, unforgeable, and unclonable
+//! tokens". A descriptor starts with a signed *genesis* record (creator's
+//! public key, network address, creation timestamp). Every time ownership
+//! moves, the current owner appends a [`ChainLink`] naming the new owner
+//! and signs the entire structure; the result is the descriptor's **chain
+//! of ownership** (Figure 4 of the paper).
+//!
+//! Redemption — spending the descriptor to gossip with its creator — is
+//! modelled as a final link back to the creator ([`LinkKind::Redeem`] or
+//! [`LinkKind::RedeemNonSwappable`]). This makes *every* double-use of a
+//! descriptor (two transfers, a transfer plus a redemption, or two
+//! redemptions) produce two links signed by the same owner over the same
+//! chain prefix — the conflicting evidence that cloning proofs (§IV-B) are
+//! built from.
+//!
+//! Signatures cover a running digest of everything before them, so a link
+//! signature commits to the full history up to that point while signing
+//! and verifying stay O(chain length).
+
+use crate::time::Timestamp;
+use sc_crypto::{sha256_concat, Digest, Keypair, NodeId, PublicKey, Signature};
+use sc_sim::Addr;
+
+/// The globally unique identity of a descriptor: who created it and when.
+///
+/// Two valid descriptors sharing a [`DescriptorId`] are either copies of
+/// the same token (compatible chains) or evidence of a violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DescriptorId {
+    /// The creator's public key.
+    pub creator: NodeId,
+    /// Creation timestamp.
+    pub created_at: Timestamp,
+}
+
+/// The signed creation record at the root of every descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Genesis {
+    /// Creator's public key (also the node's ID).
+    pub creator: NodeId,
+    /// Creator's network address at creation time.
+    pub addr: Addr,
+    /// Creation timestamp.
+    pub created_at: Timestamp,
+    /// Creator's signature over the genesis fields.
+    pub sig: Signature,
+}
+
+/// How a chain link moves ownership.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// Ordinary ownership transfer during a gossip exchange.
+    Transfer,
+    /// Redemption: the owner spends the descriptor to gossip with its
+    /// creator. Terminal.
+    Redeem,
+    /// Redemption of a retained non-swappable copy (§V-A). Terminal, and
+    /// the single kind allowed to conflict with one onward transfer.
+    RedeemNonSwappable,
+}
+
+impl LinkKind {
+    /// Whether this kind ends the descriptor's life.
+    pub fn is_redemption(self) -> bool {
+        matches!(self, LinkKind::Redeem | LinkKind::RedeemNonSwappable)
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            LinkKind::Transfer => 0,
+            LinkKind::Redeem => 1,
+            LinkKind::RedeemNonSwappable => 2,
+        }
+    }
+}
+
+/// One entry of a descriptor's chain of ownership.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChainLink {
+    /// The receiving owner.
+    pub to: NodeId,
+    /// Transfer or redemption.
+    pub kind: LinkKind,
+    /// Signature by the *previous* owner over the running digest plus
+    /// `(to, kind)`.
+    pub sig: Signature,
+}
+
+/// Errors from descriptor operations and verification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DescriptorError {
+    /// The genesis signature does not verify.
+    BadGenesisSignature,
+    /// A chain link's signature does not verify against its signer.
+    BadLinkSignature {
+        /// Index of the offending link.
+        index: usize,
+    },
+    /// A redemption link appears before the end of the chain.
+    RedemptionNotTerminal,
+    /// A redemption link does not point back at the creator.
+    RedemptionNotToCreator,
+    /// A transfer hands the descriptor to its current owner.
+    TransferToSelf,
+    /// The keypair attempting an operation does not own the descriptor.
+    NotOwner,
+    /// The descriptor is already redeemed and cannot move further.
+    AlreadyRedeemed,
+}
+
+impl core::fmt::Display for DescriptorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DescriptorError::BadGenesisSignature => write!(f, "invalid genesis signature"),
+            DescriptorError::BadLinkSignature { index } => {
+                write!(f, "invalid signature on chain link {index}")
+            }
+            DescriptorError::RedemptionNotTerminal => {
+                write!(f, "redemption link is not the last link")
+            }
+            DescriptorError::RedemptionNotToCreator => {
+                write!(f, "redemption link does not point at the creator")
+            }
+            DescriptorError::TransferToSelf => write!(f, "transfer to current owner"),
+            DescriptorError::NotOwner => write!(f, "operation requires descriptor ownership"),
+            DescriptorError::AlreadyRedeemed => write!(f, "descriptor already redeemed"),
+        }
+    }
+}
+
+impl std::error::Error for DescriptorError {}
+
+/// A SecureCyclon node descriptor: a signed genesis record plus the chain
+/// of ownership accumulated over its life.
+#[derive(Clone, Debug)]
+pub struct SecureDescriptor {
+    genesis: Genesis,
+    chain: Vec<ChainLink>,
+    /// Memoized running digest over genesis + chain (a pure function of
+    /// the other fields, maintained incrementally so that signing and
+    /// transferring are O(1) instead of O(chain)).
+    state: Digest,
+}
+
+impl PartialEq for SecureDescriptor {
+    fn eq(&self, other: &Self) -> bool {
+        // `state` is derived; equality is over the authoritative fields.
+        self.genesis == other.genesis && self.chain == other.chain
+    }
+}
+
+impl Eq for SecureDescriptor {}
+
+fn genesis_message(creator: &NodeId, addr: Addr, created_at: Timestamp) -> Digest {
+    sha256_concat(&[
+        b"sc/genesis-msg",
+        creator.as_bytes(),
+        &addr.to_be_bytes(),
+        &created_at.ticks().to_be_bytes(),
+    ])
+}
+
+fn genesis_state(genesis: &Genesis) -> Digest {
+    sha256_concat(&[
+        b"sc/state0",
+        &genesis_message(&genesis.creator, genesis.addr, genesis.created_at),
+        genesis.sig.as_bytes(),
+    ])
+}
+
+fn link_message(state: &Digest, to: &NodeId, kind: LinkKind) -> Digest {
+    sha256_concat(&[b"sc/link-msg", state, to.as_bytes(), &[kind.tag()]])
+}
+
+fn next_state(state: &Digest, link: &ChainLink) -> Digest {
+    sha256_concat(&[
+        b"sc/state",
+        state,
+        link.to.as_bytes(),
+        &[link.kind.tag()],
+        link.sig.as_bytes(),
+    ])
+}
+
+impl SecureDescriptor {
+    /// Creates and self-signs a fresh descriptor.
+    ///
+    /// Per the protocol, "the descriptor of a node may be generated
+    /// exclusively by the node itself" — `creator` signs the genesis.
+    pub fn create(creator: &Keypair, addr: Addr, created_at: Timestamp) -> Self {
+        let msg = genesis_message(&creator.public(), addr, created_at);
+        let sig = creator.sign(&msg);
+        let genesis = Genesis {
+            creator: creator.public(),
+            addr,
+            created_at,
+            sig,
+        };
+        let state = genesis_state(&genesis);
+        SecureDescriptor {
+            genesis,
+            chain: Vec::new(),
+            state,
+        }
+    }
+
+    /// Reassembles a descriptor from decoded parts **without validation**.
+    ///
+    /// Used by the wire codec; the result must be checked with
+    /// [`SecureDescriptor::verify`] before any protocol use.
+    pub fn from_parts(genesis: Genesis, chain: Vec<ChainLink>) -> Self {
+        let mut state = genesis_state(&genesis);
+        for link in &chain {
+            state = next_state(&state, link);
+        }
+        SecureDescriptor {
+            genesis,
+            chain,
+            state,
+        }
+    }
+
+    /// The descriptor's unique identity.
+    pub fn id(&self) -> DescriptorId {
+        DescriptorId {
+            creator: self.genesis.creator,
+            created_at: self.genesis.created_at,
+        }
+    }
+
+    /// The signed genesis record.
+    pub fn genesis(&self) -> &Genesis {
+        &self.genesis
+    }
+
+    /// The node this descriptor points at (its creator).
+    pub fn creator(&self) -> NodeId {
+        self.genesis.creator
+    }
+
+    /// The creator's network address.
+    pub fn addr(&self) -> Addr {
+        self.genesis.addr
+    }
+
+    /// Creation timestamp.
+    pub fn created_at(&self) -> Timestamp {
+        self.genesis.created_at
+    }
+
+    /// The chain of ownership.
+    pub fn chain(&self) -> &[ChainLink] {
+        &self.chain
+    }
+
+    /// Number of ownership transfers the descriptor has undergone
+    /// (the `t` of the paper's size model, §VI-A; includes redemption).
+    pub fn transfer_count(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// The current owner: the target of the last link, or the creator for
+    /// a freshly created descriptor. For a redeemed descriptor this is the
+    /// creator (redemption hands the token back).
+    pub fn owner(&self) -> NodeId {
+        self.chain.last().map(|l| l.to).unwrap_or(self.genesis.creator)
+    }
+
+    /// The owner who performed the redemption (the signer of the terminal
+    /// link), if the descriptor is redeemed.
+    pub fn redeemer(&self) -> Option<NodeId> {
+        if !self.is_redeemed() {
+            return None;
+        }
+        Some(self.owner_at(self.chain.len() - 1))
+    }
+
+    /// Whether the descriptor has been redeemed (spent).
+    pub fn is_redeemed(&self) -> bool {
+        self.chain.last().is_some_and(|l| l.kind.is_redemption())
+    }
+
+    /// The kind of the terminal redemption link, if any.
+    pub fn redemption_kind(&self) -> Option<LinkKind> {
+        self.chain
+            .last()
+            .filter(|l| l.kind.is_redemption())
+            .map(|l| l.kind)
+    }
+
+    /// The owner *before* link `index` executes — i.e. the signer of
+    /// `chain[index]`.
+    pub fn owner_at(&self, index: usize) -> NodeId {
+        if index == 0 {
+            self.genesis.creator
+        } else {
+            self.chain[index - 1].to
+        }
+    }
+
+    /// Iterates over all owners in order: creator, then each link target.
+    pub fn owners(&self) -> impl Iterator<Item = NodeId> + '_ {
+        std::iter::once(self.genesis.creator).chain(self.chain.iter().map(|l| l.to))
+    }
+
+    /// Age in whole cycles at time `now`.
+    pub fn age_cycles(&self, now: Timestamp, ticks_per_cycle: u64) -> u64 {
+        self.genesis.created_at.age_cycles(now, ticks_per_cycle)
+    }
+
+    /// Running digest over genesis and the full chain (identifies the exact
+    /// byte content of this copy, unlike [`SecureDescriptor::id`]).
+    pub fn state_digest(&self) -> Digest {
+        self.state
+    }
+
+    /// Appends a signed ownership transfer to `to`, returning the extended
+    /// descriptor. The caller should discard `self` afterwards — keeping
+    /// and reusing it is exactly the cloning violation the protocol
+    /// detects (honest exceptions: non-swappable copies, §V-A).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `owner` does not currently own the descriptor, if the
+    /// descriptor is already redeemed, or if `to` is the current owner.
+    pub fn transfer(&self, owner: &Keypair, to: NodeId) -> Result<Self, DescriptorError> {
+        self.append(owner, to, LinkKind::Transfer)
+    }
+
+    /// Appends a signed redemption link back to the creator.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SecureDescriptor::transfer`]; additionally a
+    /// redemption must not target a descriptor the redeemer created (a node
+    /// never gossips with itself).
+    pub fn redeem(&self, owner: &Keypair, kind: LinkKind) -> Result<Self, DescriptorError> {
+        debug_assert!(kind.is_redemption(), "redeem called with {kind:?}");
+        self.append(owner, self.genesis.creator, kind)
+    }
+
+    fn append(&self, owner: &Keypair, to: NodeId, kind: LinkKind) -> Result<Self, DescriptorError> {
+        if self.is_redeemed() {
+            return Err(DescriptorError::AlreadyRedeemed);
+        }
+        if owner.public() != self.owner() {
+            return Err(DescriptorError::NotOwner);
+        }
+        if to == self.owner() && !kind.is_redemption() {
+            return Err(DescriptorError::TransferToSelf);
+        }
+        let msg = link_message(&self.state, &to, kind);
+        let sig = owner.sign(&msg);
+        let link = ChainLink { to, kind, sig };
+        let mut next = self.clone();
+        next.state = next_state(&self.state, &link);
+        next.chain.push(link);
+        Ok(next)
+    }
+
+    /// Fully verifies the descriptor: genesis signature, every link
+    /// signature against the correct signer, and structural rules
+    /// (redemptions are terminal and point at the creator; no transfer to
+    /// the current owner).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure encountered, in chain order.
+    pub fn verify(&self) -> Result<(), DescriptorError> {
+        let msg = genesis_message(&self.genesis.creator, self.genesis.addr, self.genesis.created_at);
+        if !self.genesis.creator.verify(&msg, &self.genesis.sig) {
+            return Err(DescriptorError::BadGenesisSignature);
+        }
+        let mut state = genesis_state(&self.genesis);
+        let mut owner: PublicKey = self.genesis.creator;
+        for (i, link) in self.chain.iter().enumerate() {
+            if link.kind.is_redemption() {
+                if i != self.chain.len() - 1 {
+                    return Err(DescriptorError::RedemptionNotTerminal);
+                }
+                if link.to != self.genesis.creator {
+                    return Err(DescriptorError::RedemptionNotToCreator);
+                }
+            } else if link.to == owner {
+                return Err(DescriptorError::TransferToSelf);
+            }
+            let msg = link_message(&state, &link.to, link.kind);
+            if !owner.verify(&msg, &link.sig) {
+                return Err(DescriptorError::BadLinkSignature { index: i });
+            }
+            state = next_state(&state, link);
+            owner = link.to;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_crypto::Scheme;
+
+    pub(crate) fn kp(tag: u8) -> Keypair {
+        Keypair::from_seed(Scheme::Schnorr61, [tag; 32])
+    }
+
+    #[test]
+    fn create_verify_roundtrip() {
+        let a = kp(1);
+        let d = SecureDescriptor::create(&a, 7, Timestamp(1000));
+        assert_eq!(d.creator(), a.public());
+        assert_eq!(d.owner(), a.public());
+        assert_eq!(d.transfer_count(), 0);
+        assert!(!d.is_redeemed());
+        d.verify().expect("fresh descriptor verifies");
+    }
+
+    #[test]
+    fn figure4_chain_a_b_c_d() {
+        // Reproduces Figure 4: A creates, hands to B, B to C, C to D.
+        let (a, b, c, d) = (kp(1), kp(2), kp(3), kp(4));
+        let desc = SecureDescriptor::create(&a, 0, Timestamp(0));
+        let desc = desc.transfer(&a, b.public()).unwrap();
+        let desc = desc.transfer(&b, c.public()).unwrap();
+        let desc = desc.transfer(&c, d.public()).unwrap();
+        desc.verify().expect("full chain verifies");
+        let owners: Vec<NodeId> = desc.owners().collect();
+        assert_eq!(
+            owners,
+            vec![a.public(), b.public(), c.public(), d.public()]
+        );
+        assert_eq!(desc.owner(), d.public());
+        assert_eq!(desc.transfer_count(), 3);
+    }
+
+    #[test]
+    fn transfer_requires_ownership() {
+        let (a, b, c) = (kp(1), kp(2), kp(3));
+        let desc = SecureDescriptor::create(&a, 0, Timestamp(0))
+            .transfer(&a, b.public())
+            .unwrap();
+        assert_eq!(
+            desc.transfer(&c, c.public()).unwrap_err(),
+            DescriptorError::NotOwner
+        );
+    }
+
+    #[test]
+    fn transfer_to_current_owner_rejected() {
+        let (a, b) = (kp(1), kp(2));
+        let desc = SecureDescriptor::create(&a, 0, Timestamp(0))
+            .transfer(&a, b.public())
+            .unwrap();
+        assert_eq!(
+            desc.transfer(&b, b.public()).unwrap_err(),
+            DescriptorError::TransferToSelf
+        );
+    }
+
+    #[test]
+    fn redeem_then_no_more_moves() {
+        let (a, b) = (kp(1), kp(2));
+        let desc = SecureDescriptor::create(&a, 0, Timestamp(0))
+            .transfer(&a, b.public())
+            .unwrap();
+        let redeemed = desc.redeem(&b, LinkKind::Redeem).unwrap();
+        redeemed.verify().unwrap();
+        assert!(redeemed.is_redeemed());
+        assert_eq!(redeemed.redemption_kind(), Some(LinkKind::Redeem));
+        assert_eq!(redeemed.redeemer(), Some(b.public()));
+        assert_eq!(redeemed.owner(), a.public(), "token returns to creator");
+        assert_eq!(
+            redeemed.transfer(&a, b.public()).unwrap_err(),
+            DescriptorError::AlreadyRedeemed
+        );
+    }
+
+    #[test]
+    fn tampered_genesis_fails() {
+        let a = kp(1);
+        let mut d = SecureDescriptor::create(&a, 0, Timestamp(0));
+        d.genesis.addr = 99;
+        assert_eq!(d.verify().unwrap_err(), DescriptorError::BadGenesisSignature);
+    }
+
+    #[test]
+    fn tampered_link_target_fails() {
+        let (a, b, c) = (kp(1), kp(2), kp(3));
+        let mut d = SecureDescriptor::create(&a, 0, Timestamp(0))
+            .transfer(&a, b.public())
+            .unwrap();
+        d.chain[0].to = c.public();
+        assert_eq!(
+            d.verify().unwrap_err(),
+            DescriptorError::BadLinkSignature { index: 0 }
+        );
+    }
+
+    #[test]
+    fn forged_appended_link_fails() {
+        let (a, b, c) = (kp(1), kp(2), kp(3));
+        let d = SecureDescriptor::create(&a, 0, Timestamp(0))
+            .transfer(&a, b.public())
+            .unwrap();
+        // c forges a link claiming b handed it the descriptor, but signs
+        // with its own key.
+        let mut forged = d.clone();
+        let state = d.state_digest();
+        let msg = link_message(&state, &c.public(), LinkKind::Transfer);
+        forged.chain.push(ChainLink {
+            to: c.public(),
+            kind: LinkKind::Transfer,
+            sig: c.sign(&msg),
+        });
+        assert_eq!(
+            forged.verify().unwrap_err(),
+            DescriptorError::BadLinkSignature { index: 1 }
+        );
+    }
+
+    #[test]
+    fn signature_commits_to_full_history() {
+        // Two descriptors identical except for an early link must produce
+        // different states, so a later signature cannot be replayed.
+        let (a, b, c, d) = (kp(1), kp(2), kp(3), kp(4));
+        let base = SecureDescriptor::create(&a, 0, Timestamp(0));
+        let via_b = base.transfer(&a, b.public()).unwrap();
+        let via_c = base.transfer(&a, c.public()).unwrap();
+        assert_ne!(via_b.state_digest(), via_c.state_digest());
+        // Splice b's onward link onto the c-branch: must not verify.
+        let onward = via_b.transfer(&b, d.public()).unwrap();
+        let mut spliced = via_c.clone();
+        spliced.chain.push(*onward.chain.last().unwrap());
+        assert!(spliced.verify().is_err());
+    }
+
+    #[test]
+    fn mid_chain_redemption_rejected() {
+        let (a, b, c) = (kp(1), kp(2), kp(3));
+        let d = SecureDescriptor::create(&a, 0, Timestamp(0))
+            .transfer(&a, b.public())
+            .unwrap();
+        let redeemed = d.redeem(&b, LinkKind::Redeem).unwrap();
+        // Manually splice a transfer after the redemption.
+        let mut bad = redeemed.clone();
+        let state = redeemed.state_digest();
+        let msg = link_message(&state, &c.public(), LinkKind::Transfer);
+        bad.chain.push(ChainLink {
+            to: c.public(),
+            kind: LinkKind::Transfer,
+            sig: a.sign(&msg),
+        });
+        assert_eq!(bad.verify().unwrap_err(), DescriptorError::RedemptionNotTerminal);
+    }
+
+    #[test]
+    fn redemption_must_target_creator() {
+        let (a, b, c) = (kp(1), kp(2), kp(3));
+        let d = SecureDescriptor::create(&a, 0, Timestamp(0))
+            .transfer(&a, b.public())
+            .unwrap();
+        // Forge a "redemption" pointing at a third party.
+        let mut bad = d.clone();
+        let state = d.state_digest();
+        let msg = link_message(&state, &c.public(), LinkKind::Redeem);
+        bad.chain.push(ChainLink {
+            to: c.public(),
+            kind: LinkKind::Redeem,
+            sig: b.sign(&msg),
+        });
+        assert_eq!(bad.verify().unwrap_err(), DescriptorError::RedemptionNotToCreator);
+    }
+
+    #[test]
+    fn ids_distinguish_creator_and_time() {
+        let (a, b) = (kp(1), kp(2));
+        let d1 = SecureDescriptor::create(&a, 0, Timestamp(0));
+        let d2 = SecureDescriptor::create(&a, 0, Timestamp(1000));
+        let d3 = SecureDescriptor::create(&b, 0, Timestamp(0));
+        assert_ne!(d1.id(), d2.id());
+        assert_ne!(d1.id(), d3.id());
+        assert_eq!(d1.id(), d1.clone().id());
+    }
+
+    #[test]
+    fn age_in_cycles() {
+        let a = kp(1);
+        let d = SecureDescriptor::create(&a, 0, Timestamp(3000));
+        assert_eq!(d.age_cycles(Timestamp(8500), 1000), 5);
+    }
+
+    #[test]
+    fn owner_at_indexes_signers() {
+        let (a, b, c) = (kp(1), kp(2), kp(3));
+        let d = SecureDescriptor::create(&a, 0, Timestamp(0))
+            .transfer(&a, b.public())
+            .unwrap()
+            .transfer(&b, c.public())
+            .unwrap();
+        assert_eq!(d.owner_at(0), a.public());
+        assert_eq!(d.owner_at(1), b.public());
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            DescriptorError::BadGenesisSignature,
+            DescriptorError::BadLinkSignature { index: 3 },
+            DescriptorError::RedemptionNotTerminal,
+            DescriptorError::RedemptionNotToCreator,
+            DescriptorError::TransferToSelf,
+            DescriptorError::NotOwner,
+            DescriptorError::AlreadyRedeemed,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,1242 @@
+//! The SecureCyclon protocol node (§IV–§V of the paper).
+//!
+//! Once per cycle a correct node:
+//!
+//! 1. prunes its caches and back-fills empty view slots with non-swappable
+//!    copies of recently transferred descriptors (§V-A);
+//! 2. removes the oldest descriptor from its view and **redeems** it —
+//!    sends it back to its creator as the certificate permitting a gossip
+//!    exchange (§IV-A);
+//! 3. runs the exchange: its fresh self-descriptor goes first, then, in
+//!    tit-for-tat mode, one ownership transfer per round trip (§V-B);
+//! 4. runs the frequency and ownership checks (§IV-B) on **every**
+//!    descriptor it sees — owned transfers and samples alike; a conflict
+//!    yields a [`ViolationProof`], the culprit is blacklisted, its
+//!    descriptors purged, and the proof flooded one hop per cycle (§IV-C).
+//!
+//! As the passive party it validates redemption certificates (including
+//! the §V-A non-swappable restrictions), mirrors the exchange, and ships
+//! samples of its view plus its redemption cache (§V-C).
+
+use crate::blacklist::Blacklist;
+use crate::checks::{Observation, SampleCache};
+use crate::config::SecureConfig;
+use crate::descriptor::{DescriptorId, LinkKind, SecureDescriptor};
+use crate::msg::{AcceptBody, RequestBody, RoundBody, RoundReplyBody, SecureMsg};
+use crate::proof::{ProofKind, ViolationProof};
+use crate::redemption::RedemptionCache;
+use crate::time::Timestamp;
+use crate::view::SecureView;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sc_crypto::{Keypair, NodeId};
+use sc_sim::{Addr, CycleCtx, NodeCtx, RpcOutcome, SimNode};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Per-node protocol counters, exposed for experiments and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SecureStats {
+    /// Exchanges initiated.
+    pub initiated: u64,
+    /// Initiated exchanges that received an acceptance.
+    pub completed: u64,
+    /// Initiated exchanges that timed out or were refused.
+    pub timeouts: u64,
+    /// Exchanges answered as the passive party.
+    pub answered: u64,
+    /// Requests refused (invalid certificate, replay, NS limits, …).
+    pub refused: u64,
+    /// Cycles skipped because the view was empty.
+    pub idle_cycles: u64,
+    /// Ownership transfers sent (including fresh self-descriptors).
+    pub transfers_sent: u64,
+    /// Ownership transfers accepted into the view pipeline.
+    pub transfers_received: u64,
+    /// Transfers rejected by validation.
+    pub transfers_rejected: u64,
+    /// Owned descriptors dropped because their creator was already in the
+    /// view or the view was full.
+    pub dup_drops: u64,
+    /// Samples processed through the §IV-B checks.
+    pub samples_processed: u64,
+    /// Descriptors that failed signature/structure verification.
+    pub invalid_descriptors: u64,
+    /// Cloning proofs generated locally.
+    pub proofs_generated_cloning: u64,
+    /// Frequency proofs generated locally.
+    pub proofs_generated_frequency: u64,
+    /// Valid, novel proofs learned from peers.
+    pub proofs_received: u64,
+    /// Proofs discarded as duplicates (culprit already blacklisted).
+    pub proofs_duplicate: u64,
+    /// Proofs that failed validation.
+    pub proofs_invalid: u64,
+    /// Empty view slots repaired with non-swappable copies.
+    pub ns_backfills: u64,
+    /// Non-swappable redemptions accepted as creator.
+    pub ns_redemptions_accepted: u64,
+    /// Estimated bytes sent (paper's §VI-A size model).
+    pub bytes_sent: u64,
+    /// Estimated bytes received (paper's §VI-A size model).
+    pub bytes_received: u64,
+}
+
+/// A locally *generated* (not merely received) violation proof.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProofRecord {
+    /// Cycle of discovery.
+    pub cycle: u64,
+    /// Violation class.
+    pub kind: ProofKind,
+    /// The node proven guilty.
+    pub culprit: NodeId,
+    /// For cloning proofs, the identity of the cloned descriptor.
+    pub descriptor: Option<DescriptorId>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Session {
+    partner: NodeId,
+    remaining: usize,
+    cycle: u64,
+}
+
+/// A correct SecureCyclon node.
+pub struct SecureCyclonNode {
+    keypair: Keypair,
+    id: NodeId,
+    addr: Addr,
+    cfg: SecureConfig,
+    /// Stable per-node tick offset used in descriptor timestamps.
+    phase: u64,
+    view: SecureView,
+    samples: SampleCache,
+    redemptions: RedemptionCache,
+    /// Pre-transfer copies of descriptors lost in failed exchanges — the
+    /// first-priority candidates for non-swappable back-fill (§V-A). In a
+    /// healthy network this stays empty, matching the paper's Figure 6
+    /// baseline of ≈0% non-swappable links before the attack begins.
+    pending_ns: VecDeque<SecureDescriptor>,
+    /// Pre-transfer copies of descriptors transferred away in successful
+    /// exchanges: the last-resort NS back-fill pool, for gaps whose own
+    /// exchange shipped nothing reusable (e.g. an unreachable partner,
+    /// §V-A case 1). Dormant while no gaps exist.
+    transfer_history: VecDeque<SecureDescriptor>,
+    blacklist: Blacklist,
+    /// Owned descriptors waiting for a view slot (their creator was already
+    /// in the view, or the view was full, when they arrived). Kept so that
+    /// links are not destroyed by local placement conflicts.
+    reserve: VecDeque<SecureDescriptor>,
+    /// Our descriptors redeemed with a *regular* redemption (replay
+    /// refusal), with the cycle the redemption was accepted.
+    redeemed_regular: HashMap<DescriptorId, u64>,
+    /// Descriptors of ours ever redeemed non-swappably (§V-A rule 1).
+    ns_redeemed_ids: HashSet<DescriptorId>,
+    /// (cycle, count) of NS redemptions accepted this cycle (§V-A rule 2).
+    ns_accepted: (u64, u32),
+    /// Open tit-for-tat exchanges, keyed by initiator address.
+    sessions: HashMap<Addr, Session>,
+    /// Cycle in which the last NS back-fill was performed (creation of NS
+    /// copies is rate-limited to one per cycle, mirroring §V-A rule 2 on
+    /// the acceptance side).
+    last_ns_backfill: Option<u64>,
+    /// Cycle whose fresh-descriptor budget was spent sponsoring a joiner
+    /// (the node skips initiating that cycle to stay frequency-legal).
+    sponsored_cycle: Option<u64>,
+    /// Proofs awaiting flood dispatch.
+    outbox: Vec<ViolationProof>,
+    rng: SmallRng,
+    stats: SecureStats,
+    proof_log: Vec<ProofRecord>,
+}
+
+impl core::fmt::Debug for SecureCyclonNode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SecureCyclonNode")
+            .field("id", &self.id)
+            .field("addr", &self.addr)
+            .field("view_len", &self.view.len())
+            .field("blacklisted", &self.blacklist.len())
+            .finish()
+    }
+}
+
+impl SecureCyclonNode {
+    /// Creates a node with an empty view.
+    ///
+    /// `phase` is the node's stable timestamp offset within a cycle and
+    /// must be < `cfg.ticks_per_cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `phase` out of range.
+    pub fn new(keypair: Keypair, addr: Addr, cfg: SecureConfig, rng_seed: [u8; 32], phase: u64) -> Self {
+        let cfg = cfg.validated();
+        assert!(phase < cfg.ticks_per_cycle, "phase must be < ticks_per_cycle");
+        let id = keypair.public();
+        SecureCyclonNode {
+            keypair,
+            id,
+            addr,
+            phase,
+            view: SecureView::new(id, cfg.view_len),
+            samples: SampleCache::new(cfg.sample_retention_cycles),
+            redemptions: RedemptionCache::new(cfg.redemption_cache_cycles),
+            pending_ns: VecDeque::with_capacity(cfg.transfer_history_len),
+            transfer_history: VecDeque::with_capacity(cfg.transfer_history_len),
+            blacklist: Blacklist::new(),
+            reserve: VecDeque::new(),
+            redeemed_regular: HashMap::new(),
+            ns_redeemed_ids: HashSet::new(),
+            ns_accepted: (0, 0),
+            sessions: HashMap::new(),
+            last_ns_backfill: None,
+            sponsored_cycle: None,
+            outbox: Vec::new(),
+            rng: SmallRng::from_seed(rng_seed),
+            stats: SecureStats::default(),
+            proof_log: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The node's ID (public key).
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's network address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// The node's timestamp phase.
+    pub fn phase(&self) -> u64 {
+        self.phase
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &SecureConfig {
+        &self.cfg
+    }
+
+    /// The current view.
+    pub fn view(&self) -> &SecureView {
+        &self.view
+    }
+
+    /// The node's blacklist.
+    pub fn blacklist(&self) -> &Blacklist {
+        &self.blacklist
+    }
+
+    /// Number of cached samples.
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Number of owned descriptors parked in the reserve.
+    pub fn reserve_len(&self) -> usize {
+        self.reserve.len()
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> SecureStats {
+        self.stats
+    }
+
+    /// Locally generated violation proofs, in discovery order.
+    pub fn proof_log(&self) -> &[ProofRecord] {
+        &self.proof_log
+    }
+
+    /// Installs a bootstrap descriptor (ownership must already point at
+    /// this node). Returns whether it was stored.
+    pub fn accept_bootstrap(&mut self, desc: SecureDescriptor) -> bool {
+        debug_assert!(desc.verify().is_ok(), "bootstrap descriptors must verify");
+        self.view.insert(desc, false)
+    }
+
+    /// Sponsors a joining node (§V-A bootstrap): spends this cycle's
+    /// fresh-descriptor budget on a descriptor transferred to `joiner`
+    /// instead of initiating a gossip exchange, so the frequency rule is
+    /// never violated. Returns `None` if this cycle's budget is already
+    /// spent.
+    ///
+    /// `cycle` and `now` must come from the engine clock (the same values
+    /// the node would see in its `on_cycle`).
+    pub fn sponsor_join(
+        &mut self,
+        joiner: NodeId,
+        cycle: u64,
+        now: u64,
+    ) -> Option<SecureDescriptor> {
+        if self.sponsored_cycle == Some(cycle) || joiner == self.id {
+            return None;
+        }
+        let fresh = SecureDescriptor::create(&self.keypair, self.addr, Timestamp(now + self.phase));
+        let handed = fresh.transfer(&self.keypair, joiner).ok()?;
+        self.sponsored_cycle = Some(cycle);
+        self.stats.transfers_sent += 1;
+        Some(handed)
+    }
+
+    /// Exports every stored violation proof (for bootstrap synchronization
+    /// of a joining node, §IV-C: proofs are exchanged so newcomers learn
+    /// about already-discovered violators).
+    pub fn export_proofs(&self) -> Vec<ViolationProof> {
+        self.blacklist
+            .proofs()
+            .iter()
+            .map(|p| p.proof.clone())
+            .collect()
+    }
+
+    /// Validates and absorbs a batch of proofs (bootstrap synchronization).
+    pub fn import_proofs(&mut self, proofs: Vec<ViolationProof>, cycle: u64) {
+        self.process_proofs(proofs, cycle);
+    }
+
+    // ------------------------------------------------------------------
+    // Violation handling
+    // ------------------------------------------------------------------
+
+    /// Handles a locally discovered violation: log it, and (when eviction
+    /// is enabled) blacklist, purge, and queue the proof for flooding.
+    fn discover_violation(&mut self, proof: ViolationProof, cycle: u64) {
+        match proof.kind() {
+            ProofKind::Cloning => self.stats.proofs_generated_cloning += 1,
+            ProofKind::Frequency => self.stats.proofs_generated_frequency += 1,
+        }
+        let descriptor = match proof.kind() {
+            ProofKind::Cloning => Some(proof.evidence().0.id()),
+            ProofKind::Frequency => None,
+        };
+        self.proof_log.push(ProofRecord {
+            cycle,
+            kind: proof.kind(),
+            culprit: proof.culprit(),
+            descriptor,
+        });
+        self.apply_proof(proof, cycle);
+    }
+
+    /// Validates and absorbs a proof learned from a peer. Returns whether
+    /// it was novel (and should be re-flooded).
+    fn accept_remote_proof(&mut self, proof: ViolationProof, cycle: u64) -> bool {
+        if self.blacklist.contains(&proof.culprit()) {
+            self.stats.proofs_duplicate += 1;
+            return false;
+        }
+        if proof.validate(self.cfg.ticks_per_cycle).is_err() {
+            self.stats.proofs_invalid += 1;
+            return false;
+        }
+        self.stats.proofs_received += 1;
+        self.apply_proof(proof, cycle)
+    }
+
+    /// Registers a validated proof: blacklist, purge every trace of the
+    /// culprit, and queue the proof for flooding. No-op in detection-only
+    /// mode (Figure 7) or when the culprit is already listed.
+    fn apply_proof(&mut self, proof: ViolationProof, cycle: u64) -> bool {
+        if !self.cfg.eviction_enabled {
+            return false;
+        }
+        let culprit = proof.culprit();
+        if !self.blacklist.register(proof.clone(), cycle) {
+            return false;
+        }
+        self.view.purge_creator(&culprit);
+        self.samples.purge_creator(&culprit);
+        self.redemptions.purge_creator(&culprit);
+        self.pending_ns.retain(|d| d.creator() != culprit);
+        self.transfer_history.retain(|d| d.creator() != culprit);
+        self.reserve.retain(|d| d.creator() != culprit);
+        self.outbox.push(proof);
+        true
+    }
+
+    /// Sends queued proofs to every current neighbor (§IV-C flooding).
+    fn drain_floods(&mut self, send: &mut dyn FnMut(Addr, SecureMsg)) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let targets: Vec<Addr> = self.view.iter().map(|e| e.desc.addr()).collect();
+        for proof in self.outbox.drain(..) {
+            for &t in &targets {
+                send(t, SecureMsg::Proof(Box::new(proof.clone())));
+            }
+        }
+    }
+
+    fn process_proofs(&mut self, proofs: Vec<ViolationProof>, cycle: u64) {
+        for p in proofs {
+            self.accept_remote_proof(p, cycle);
+        }
+    }
+
+    fn recent_proofs(&self, cycle: u64) -> Vec<ViolationProof> {
+        if !self.cfg.eviction_enabled {
+            return Vec::new();
+        }
+        let since = cycle.saturating_sub(self.cfg.proof_piggyback_cycles);
+        self.blacklist.proofs_since(since).cloned().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Descriptor intake
+    // ------------------------------------------------------------------
+
+    /// Verifies a descriptor fully, then runs the §IV-B checks. Used for
+    /// everything whose validity the node is about to rely on: incoming
+    /// ownership transfers, fresh descriptors, redemption certificates.
+    fn absorb_descriptor(&mut self, desc: &SecureDescriptor, cycle: u64) -> bool {
+        if self.blacklist.contains(&desc.creator()) {
+            return false;
+        }
+        // Skip re-verification when a byte-identical copy is cached
+        // (samples repeat heavily from cycle to cycle).
+        let already_seen = self
+            .samples
+            .get(&desc.id())
+            .is_some_and(|cached| cached == desc);
+        if !already_seen && desc.verify().is_err() {
+            self.stats.invalid_descriptors += 1;
+            return false;
+        }
+        self.check_only(desc, cycle)
+    }
+
+    /// Runs the §IV-B checks without up-front signature verification —
+    /// the lazy-verification path for samples (see `sc_core::checks`
+    /// module docs: proofs re-verify, so forgeries cannot frame anyone).
+    fn absorb_sample(&mut self, desc: &SecureDescriptor, cycle: u64) -> bool {
+        if self.blacklist.contains(&desc.creator()) {
+            return false;
+        }
+        self.check_only(desc, cycle)
+    }
+
+    fn check_only(&mut self, desc: &SecureDescriptor, cycle: u64) -> bool {
+        self.stats.samples_processed += 1;
+        match self
+            .samples
+            .observe(desc, cycle, self.cfg.ticks_per_cycle)
+        {
+            Observation::Violation(proof) => {
+                self.discover_violation(*proof, cycle);
+                false
+            }
+            Observation::Forged => {
+                self.stats.invalid_descriptors += 1;
+                false
+            }
+            _ => true,
+        }
+    }
+
+    /// Validates an incoming ownership transfer handed over by `from`.
+    fn validate_transfer(&self, d: &SecureDescriptor, from: NodeId) -> bool {
+        if d.is_redeemed() || d.owner() != self.id || d.creator() == self.id {
+            return false;
+        }
+        let last = d.chain().len() - 1; // owner()==id ≠ creator ⇒ non-empty
+        d.owner_at(last) == from
+    }
+
+    /// Full intake of an owned transfer: validate, check, insert.
+    fn accept_transfer(&mut self, d: SecureDescriptor, from: NodeId, cycle: u64) {
+        if !self.validate_transfer(&d, from) {
+            self.stats.transfers_rejected += 1;
+            return;
+        }
+        if !self.absorb_descriptor(&d, cycle) {
+            return;
+        }
+        self.stats.transfers_received += 1;
+        if !self.view.insert(d.clone(), false) && !self.view.replace_ns_with(d.clone()) {
+            self.push_reserve(d);
+        }
+    }
+
+    /// Parks an owned descriptor that currently has no view slot. The
+    /// reserve is bounded; overflowing descriptors are dropped (they die
+    /// early, exactly as a discarded duplicate would in legacy Cyclon).
+    fn push_reserve(&mut self, d: SecureDescriptor) {
+        self.stats.dup_drops += 1;
+        if self.reserve.len() >= self.cfg.swap_len * 2 {
+            self.reserve.pop_front();
+        }
+        self.reserve.push_back(d);
+    }
+
+    /// Copies of the current view plus the redemption cache (§IV-B, §V-C).
+    fn collect_samples(&self) -> Vec<SecureDescriptor> {
+        self.view
+            .iter()
+            .map(|e| e.desc.clone())
+            .chain(self.redemptions.iter().cloned())
+            .collect()
+    }
+
+    /// Records the pre-transfer copy of a descriptor whose ownership was
+    /// handed over in an exchange that then failed: the node "is allowed
+    /// to keep a copy of a descriptor whose ownership it has transferred
+    /// to some other peer, marking it as non-swappable" (§V-A).
+    fn lose_to_ns(&mut self, pre: SecureDescriptor) {
+        if self.pending_ns.len() == self.cfg.transfer_history_len {
+            self.pending_ns.pop_front();
+        }
+        self.pending_ns.push_back(pre);
+    }
+
+    /// Remembers the pre-transfer copy of a successfully transferred
+    /// descriptor as a last-resort NS back-fill candidate.
+    fn remember_transfer(&mut self, pre: SecureDescriptor) {
+        if self.transfer_history.len() == self.cfg.transfer_history_len {
+            self.transfer_history.pop_front();
+        }
+        self.transfer_history.push_back(pre);
+    }
+
+
+    /// Fills empty view slots: first with fully owned descriptors parked
+    /// in the reserve (swappable), then — at most once per cycle — with a
+    /// non-swappable copy of a recently transferred descriptor (§V-A).
+    fn backfill(&mut self, cycle: u64) {
+        if self.view.free_slots() > 0 && !self.reserve.is_empty() {
+            let mut keep = VecDeque::with_capacity(self.reserve.len());
+            while let Some(d) = self.reserve.pop_front() {
+                if self.blacklist.contains(&d.creator()) {
+                    continue;
+                }
+                if self.view.can_insert(&d) {
+                    self.view.insert(d, false);
+                } else if !self.view.replace_ns_with(d.clone()) {
+                    keep.push_back(d);
+                }
+            }
+            self.reserve = keep;
+        }
+        if self.last_ns_backfill == Some(cycle) {
+            return;
+        }
+        while self.view.free_slots() > 0 {
+            let cand = match self.pending_ns.pop_back() {
+                Some(c) => c,
+                None => {
+                    // The general history only repairs *persistent* damage
+                    // (two or more missing slots); transient single-slot
+                    // gaps heal through the reserve and ordinary exchanges,
+                    // keeping non-swappable links at ≈0% in healthy
+                    // networks (Figure 6 baseline).
+                    if self.view.free_slots() < 2 {
+                        return;
+                    }
+                    match self.transfer_history.pop_back() {
+                        Some(c) => c,
+                        None => return,
+                    }
+                }
+            };
+            if self.blacklist.contains(&cand.creator()) {
+                continue;
+            }
+            if self.view.insert(cand, true) {
+                self.stats.ns_backfills += 1;
+                self.last_ns_backfill = Some(cycle);
+                return;
+            }
+        }
+    }
+
+    /// Removes and returns the oldest non-blacklisted view entry.
+    fn pick_oldest(&mut self) -> Option<crate::view::ViewEntry> {
+        loop {
+            let entry = self.view.remove_oldest()?;
+            if !self.blacklist.contains(&entry.desc.creator()) {
+                return Some(entry);
+            }
+        }
+    }
+
+    fn housekeeping(&mut self, cycle: u64) {
+        self.samples.prune(cycle);
+        self.redemptions.prune(cycle);
+        self.sessions.retain(|_, s| s.cycle + 1 >= cycle);
+        let horizon = cycle.saturating_sub(self.cfg.sample_retention_cycles);
+        self.redeemed_regular.retain(|_, c| *c >= horizon);
+    }
+
+    /// Total ownership transfers each side performs in one exchange,
+    /// honoring the NS swap cap (§V-A rule 3).
+    fn exchange_quota(&self, redemption: LinkKind) -> usize {
+        match (redemption, self.cfg.ns_swap_cap) {
+            (LinkKind::RedeemNonSwappable, Some(cap)) => self.cfg.swap_len.min(cap),
+            _ => self.cfg.swap_len,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Passive side
+    // ------------------------------------------------------------------
+
+    fn handle_request(&mut self, from: Addr, body: RequestBody, cycle: u64, now: u64) -> Option<SecureMsg> {
+        let RequestBody {
+            redeemed,
+            fresh,
+            offered,
+            samples,
+            proofs,
+        } = body;
+
+        // -- validate the redemption certificate -----------------------
+        if redeemed.verify().is_err() || redeemed.creator() != self.id {
+            self.stats.refused += 1;
+            return None;
+        }
+        let Some(kind) = redeemed.redemption_kind() else {
+            self.stats.refused += 1;
+            return None;
+        };
+        let Some(redeemer) = redeemed.redeemer() else {
+            self.stats.refused += 1;
+            return None;
+        };
+
+        // -- validate the initiator's fresh descriptor -----------------
+        let fresh_ok = fresh.verify().is_ok()
+            && fresh.creator() == redeemer
+            && fresh.owner() == self.id
+            && fresh.chain().len() == 1
+            && !fresh.is_redeemed()
+            && fresh.created_at().distance(Timestamp(now))
+                <= self.cfg.max_skew_ticks + self.cfg.ticks_per_cycle;
+        if !fresh_ok {
+            self.stats.refused += 1;
+            return None;
+        }
+
+        // -- learn from piggybacked proofs before trusting the peer ----
+        self.process_proofs(proofs, cycle);
+        if self.blacklist.contains(&redeemer) {
+            self.stats.refused += 1;
+            return None;
+        }
+
+        // -- replay and §V-A non-swappable restrictions -----------------
+        // A descriptor may legally be spent twice in total: once by its
+        // final owner (regular redemption) and once by a past owner that
+        // kept a non-swappable copy (§V-A). Each kind at most once.
+        let id = redeemed.id();
+        match kind {
+            LinkKind::Redeem => {
+                if self.redeemed_regular.contains_key(&id) {
+                    self.stats.refused += 1;
+                    return None;
+                }
+            }
+            LinkKind::RedeemNonSwappable => {
+                // Rule 1: at most one NS redemption per descriptor, ever.
+                if self.ns_redeemed_ids.contains(&id) {
+                    self.stats.refused += 1;
+                    return None;
+                }
+                // Rule 2: at most a configured number of NS redemptions
+                // accepted per cycle.
+                if self.ns_accepted.0 == cycle
+                    && self.ns_accepted.1 >= self.cfg.max_ns_redemptions_per_cycle
+                {
+                    self.stats.refused += 1;
+                    return None;
+                }
+            }
+            LinkKind::Transfer => unreachable!("redemption_kind is terminal"),
+        }
+
+        // -- §IV-B checks on everything received ------------------------
+        let red_ok = self.absorb_descriptor(&redeemed, cycle);
+        let fresh_clean = self.absorb_descriptor(&fresh, cycle);
+        for s in &samples {
+            self.absorb_sample(s, cycle);
+        }
+        if !red_ok || !fresh_clean || self.blacklist.contains(&redeemer) {
+            self.stats.refused += 1;
+            return None;
+        }
+
+        // -- commit the redemption --------------------------------------
+        if kind == LinkKind::RedeemNonSwappable {
+            if self.ns_accepted.0 != cycle {
+                self.ns_accepted = (cycle, 0);
+            }
+            self.ns_accepted.1 += 1;
+            self.ns_redeemed_ids.insert(id);
+            self.stats.ns_redemptions_accepted += 1;
+        } else {
+            self.redeemed_regular.insert(id, cycle);
+        }
+
+        // -- select outgoing transfers ----------------------------------
+        let quota = self.exchange_quota(kind);
+        let immediate = if self.cfg.tit_for_tat { 1 } else { quota };
+        let picked = self.view.remove_random_swappable_filtered(immediate, &mut self.rng, |d| {
+            d.creator() != redeemer
+        });
+        let mut transfers = Vec::with_capacity(picked.len());
+        for pre in picked {
+            if let Ok(t) = pre.clone().transfer(&self.keypair, redeemer) {
+                self.stats.transfers_sent += 1;
+                transfers.push(t);
+                self.remember_transfer(pre);
+            }
+        }
+
+        // -- store what we received -------------------------------------
+        self.stats.transfers_received += 1;
+        if !self.view.insert(fresh.clone(), false) && !self.view.replace_ns_with(fresh.clone()) {
+            // Usually an older descriptor of the initiator still occupies
+            // the slot; park the fresh one until that one is redeemed.
+            self.push_reserve(fresh);
+        }
+        if !self.cfg.tit_for_tat {
+            for d in offered.into_iter().take(quota.saturating_sub(1)) {
+                self.accept_transfer(d, redeemer, cycle);
+            }
+        }
+
+        // -- open the tit-for-tat session -------------------------------
+        if self.cfg.tit_for_tat && quota > 1 && !transfers.is_empty() {
+            self.sessions.insert(
+                from,
+                Session {
+                    partner: redeemer,
+                    remaining: quota - 1,
+                    cycle,
+                },
+            );
+        }
+
+        self.stats.answered += 1;
+        Some(SecureMsg::Accept(Box::new(AcceptBody {
+            transfers,
+            samples: self.collect_samples(),
+            proofs: self.recent_proofs(cycle),
+        })))
+    }
+
+    fn handle_round(&mut self, from: Addr, body: RoundBody, cycle: u64) -> Option<SecureMsg> {
+        let session = *self.sessions.get(&from)?;
+        if session.remaining == 0 {
+            self.sessions.remove(&from);
+            return None;
+        }
+        // Free our slot before storing the incoming transfer, so it can
+        // take the slot directly instead of bouncing through the reserve.
+        let partner = session.partner;
+        let reply = self
+            .view
+            .remove_random_swappable_filtered(1, &mut self.rng, |d| d.creator() != partner)
+            .into_iter()
+            .next()
+            .and_then(|pre| {
+                let out = pre.clone().transfer(&self.keypair, partner).ok();
+                if out.is_some() {
+                    self.remember_transfer(pre);
+                }
+                out
+            });
+        self.accept_transfer(body.transfer, partner, cycle);
+        if self.blacklist.contains(&partner) {
+            self.sessions.remove(&from);
+            return None;
+        }
+        if reply.is_some() {
+            self.stats.transfers_sent += 1;
+        }
+        let remaining = session.remaining - 1;
+        if remaining == 0 || reply.is_none() {
+            self.sessions.remove(&from);
+        } else if let Some(s) = self.sessions.get_mut(&from) {
+            s.remaining = remaining;
+        }
+        Some(SecureMsg::RoundReply(Box::new(RoundReplyBody {
+            transfer: reply,
+        })))
+    }
+
+    // ------------------------------------------------------------------
+    // Active side
+    // ------------------------------------------------------------------
+
+    fn run_exchange<N: SimNode<Msg = SecureMsg>>(
+        &mut self,
+        ctx: &mut CycleCtx<'_, N>,
+        cycle: u64,
+        now: u64,
+    ) {
+        let Some(entry) = self.pick_oldest() else {
+            self.stats.idle_cycles += 1;
+            return;
+        };
+        let partner_id = entry.desc.creator();
+        let partner_addr = entry.desc.addr();
+        let kind = if entry.non_swappable {
+            LinkKind::RedeemNonSwappable
+        } else {
+            LinkKind::Redeem
+        };
+        let Ok(redeemed) = entry.desc.redeem(&self.keypair, kind) else {
+            return;
+        };
+        // Keep the redeemed copy circulating as a sample (§V-C).
+        self.redemptions.push(redeemed.clone(), cycle);
+
+        let fresh_ts = Timestamp(now + self.phase);
+        let fresh = SecureDescriptor::create(&self.keypair, self.addr, fresh_ts);
+        let Ok(fresh_out) = fresh.transfer(&self.keypair, partner_id) else {
+            return;
+        };
+        self.stats.transfers_sent += 1;
+
+        let quota = self.exchange_quota(kind);
+        let mut offered = Vec::new();
+        let mut offered_pre = Vec::new();
+        if !self.cfg.tit_for_tat {
+            for pre in self.view.remove_random_swappable_filtered(
+                quota.saturating_sub(1),
+                &mut self.rng,
+                |d| d.creator() != partner_id,
+            ) {
+                if let Ok(t) = pre.transfer(&self.keypair, partner_id) {
+                    self.stats.transfers_sent += 1;
+                    offered.push(t);
+                    offered_pre.push(pre);
+                }
+            }
+        }
+
+        let request = RequestBody {
+            redeemed,
+            fresh: fresh_out,
+            offered,
+            samples: self.collect_samples(),
+            proofs: self.recent_proofs(cycle),
+        };
+        self.stats.initiated += 1;
+        match ctx.rpc(partner_addr, SecureMsg::Request(Box::new(request))) {
+            RpcOutcome::Reply(SecureMsg::Accept(body)) => {
+                self.stats.completed += 1;
+                let AcceptBody {
+                    transfers,
+                    samples,
+                    proofs,
+                } = *body;
+                self.process_proofs(proofs, cycle);
+                for s in &samples {
+                    self.absorb_sample(s, cycle);
+                }
+                if self.blacklist.contains(&partner_id) {
+                    return;
+                }
+                for pre in offered_pre {
+                    self.remember_transfer(pre);
+                }
+                let expect = if self.cfg.tit_for_tat { 1 } else { quota };
+                let got_any = !transfers.is_empty();
+                for t in transfers.into_iter().take(expect) {
+                    self.accept_transfer(t, partner_id, cycle);
+                }
+                if self.cfg.tit_for_tat && got_any {
+                    self.run_tft_rounds(ctx, partner_addr, partner_id, quota, cycle);
+                }
+            }
+            RpcOutcome::Reply(_) | RpcOutcome::Timeout => {
+                // §V-A cases 1 and 2: the redeemed descriptor is spent and
+                // the fresh one may or may not have been delivered; the
+                // view descriptors shipped alongside cannot be reused as
+                // owned, but non-swappable copies may be retained.
+                self.stats.timeouts += 1;
+                for pre in offered_pre {
+                    self.lose_to_ns(pre);
+                }
+            }
+        }
+    }
+
+    fn run_tft_rounds<N: SimNode<Msg = SecureMsg>>(
+        &mut self,
+        ctx: &mut CycleCtx<'_, N>,
+        partner_addr: Addr,
+        partner_id: NodeId,
+        quota: usize,
+        cycle: u64,
+    ) {
+        for _round in 1..quota {
+            let Some(pre) = self
+                .view
+                .remove_random_swappable_filtered(1, &mut self.rng, |d| {
+                    d.creator() != partner_id
+                })
+                .into_iter()
+                .next()
+            else {
+                return; // nothing left to trade
+            };
+            let Ok(out) = pre.clone().transfer(&self.keypair, partner_id) else {
+                return;
+            };
+            self.stats.transfers_sent += 1;
+            match ctx.rpc(
+                partner_addr,
+                SecureMsg::Round(Box::new(RoundBody { transfer: out })),
+            ) {
+                RpcOutcome::Reply(SecureMsg::RoundReply(reply)) => match reply.transfer {
+                    Some(d) => {
+                        self.remember_transfer(pre);
+                        self.accept_transfer(d, partner_id, cycle);
+                    }
+                    None => {
+                        // Partner quit halfway: our transfer is gone, keep
+                        // a non-swappable copy (§V-A).
+                        self.lose_to_ns(pre);
+                        return;
+                    }
+                },
+                RpcOutcome::Reply(_) | RpcOutcome::Timeout => {
+                    self.lose_to_ns(pre);
+                    return;
+                }
+            }
+            if self.blacklist.contains(&partner_id) {
+                return;
+            }
+        }
+    }
+}
+
+impl SecureCyclonNode {
+    /// The active-thread logic, generic over the hosting node type so that
+    /// wrapper enums (mixed honest/malicious networks) can delegate.
+    pub fn on_cycle_any<N: SimNode<Msg = SecureMsg>>(&mut self, ctx: &mut CycleCtx<'_, N>) {
+        let cycle = ctx.cycle();
+        let now = ctx.now();
+        self.housekeeping(cycle);
+        self.backfill(cycle);
+        if self.sponsored_cycle != Some(cycle) {
+            self.run_exchange(ctx, cycle, now);
+        }
+        self.backfill(cycle);
+        let mut sends: Vec<(Addr, SecureMsg)> = Vec::new();
+        self.drain_floods(&mut |a, m| sends.push((a, m)));
+        for (a, m) in sends {
+            ctx.send(a, m);
+        }
+    }
+
+    /// The RPC-server logic, reusable by wrapper enums.
+    pub fn on_rpc_any(
+        &mut self,
+        from: Addr,
+        msg: SecureMsg,
+        ctx: &mut NodeCtx<'_, SecureMsg>,
+    ) -> Option<SecureMsg> {
+        let cycle = ctx.cycle();
+        let now = ctx.now();
+        let reply = match msg {
+            SecureMsg::Request(body) => self.handle_request(from, *body, cycle, now),
+            SecureMsg::Round(body) => self.handle_round(from, *body, cycle),
+            _ => None,
+        };
+        let mut sends: Vec<(Addr, SecureMsg)> = Vec::new();
+        self.drain_floods(&mut |a, m| sends.push((a, m)));
+        for (a, m) in sends {
+            ctx.send(a, m);
+        }
+        reply
+    }
+
+    /// The datagram logic, reusable by wrapper enums.
+    pub fn on_oneway_any(&mut self, _from: Addr, msg: SecureMsg, ctx: &mut NodeCtx<'_, SecureMsg>) {
+        if let SecureMsg::Proof(proof) = msg {
+            let cycle = ctx.cycle();
+            self.accept_remote_proof(*proof, cycle);
+            let mut sends: Vec<(Addr, SecureMsg)> = Vec::new();
+            self.drain_floods(&mut |a, m| sends.push((a, m)));
+            for (a, m) in sends {
+                ctx.send(a, m);
+            }
+        }
+    }
+}
+
+impl SimNode for SecureCyclonNode {
+    type Msg = SecureMsg;
+
+    fn on_cycle(&mut self, ctx: &mut CycleCtx<'_, Self>) {
+        self.on_cycle_any(ctx);
+    }
+
+    fn on_rpc(
+        &mut self,
+        from: Addr,
+        msg: Self::Msg,
+        ctx: &mut NodeCtx<'_, Self::Msg>,
+    ) -> Option<Self::Msg> {
+        self.on_rpc_any(from, msg, ctx)
+    }
+
+    fn on_oneway(&mut self, from: Addr, msg: Self::Msg, ctx: &mut NodeCtx<'_, Self::Msg>) {
+        self.on_oneway_any(from, msg, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::{default_phase, ring_bootstrap};
+    use sc_crypto::Scheme;
+    use sc_sim::{Engine, NetworkModel, SimConfig};
+    use std::collections::HashMap;
+
+    fn keypairs(n: usize) -> Vec<Keypair> {
+        (0..n)
+            .map(|i| {
+                let mut seed = [0u8; 32];
+                seed[..8].copy_from_slice(&(i as u64).to_le_bytes());
+                Keypair::from_seed(Scheme::KeyedHash, seed)
+            })
+            .collect()
+    }
+
+    /// Builds an all-honest SecureCyclon network with a legal bootstrap.
+    fn build(n: usize, cfg: SecureConfig, seed: u64) -> Engine<SecureCyclonNode> {
+        build_net(n, cfg, seed, NetworkModel::reliable())
+    }
+
+    fn build_net(
+        n: usize,
+        cfg: SecureConfig,
+        seed: u64,
+        net: NetworkModel,
+    ) -> Engine<SecureCyclonNode> {
+        let cfg = cfg.validated();
+        let kps = keypairs(n);
+        let addrs: Vec<Addr> = (0..n as Addr).collect();
+        let phases: Vec<u64> = (0..n)
+            .map(|i| default_phase(i, cfg.ticks_per_cycle))
+            .collect();
+        let plan = ring_bootstrap(&kps, &addrs, &phases, cfg.view_len, cfg.ticks_per_cycle);
+        let mut engine = Engine::new(SimConfig {
+            seed,
+            net,
+            ticks_per_cycle: cfg.ticks_per_cycle,
+            start_cycle: plan.start_cycle,
+        });
+        for (i, descs) in plan.per_node.into_iter().enumerate() {
+            let mut node = SecureCyclonNode::new(
+                kps[i].clone(),
+                i as Addr,
+                cfg,
+                sc_sim::rng::derive_seed(seed, "node", i as u64),
+                phases[i],
+            );
+            for d in descs {
+                assert!(node.accept_bootstrap(d));
+            }
+            engine.spawn_with(|_| node);
+        }
+        engine
+    }
+
+    fn small_cfg() -> SecureConfig {
+        SecureConfig::default().with_view_len(8).with_swap_len(3)
+    }
+
+    #[test]
+    fn honest_network_runs_violation_free() {
+        let mut eng = build(48, small_cfg(), 1);
+        eng.run_cycles(60);
+        for (_, node) in eng.nodes() {
+            assert_eq!(node.blacklist().len(), 0, "no false accusations");
+            assert!(node.proof_log().is_empty(), "no proofs generated");
+            assert_eq!(node.stats().invalid_descriptors, 0);
+        }
+    }
+
+    #[test]
+    fn honest_views_stay_full_and_swappable() {
+        let cfg = small_cfg();
+        let mut eng = build(128, cfg, 2);
+        eng.run_cycles(80);
+        let mut total_ns = 0usize;
+        let mut total_len = 0usize;
+        for (_, node) in eng.nodes() {
+            assert!(
+                node.view().len() >= cfg.view_len / 2,
+                "view at least half full: {}",
+                node.view().len()
+            );
+            total_len += node.view().len();
+            total_ns += node.view().ns_count();
+        }
+        let avg = total_len as f64 / 128.0;
+        assert!(
+            avg >= cfg.view_len as f64 * 0.7,
+            "views near capacity on average: {avg}"
+        );
+        let ns_frac = total_ns as f64 / (128.0 * cfg.view_len as f64);
+        assert!(ns_frac < 0.05, "non-swappable fraction {ns_frac}");
+    }
+
+    #[test]
+    fn exchanges_actually_complete() {
+        let mut eng = build(32, small_cfg(), 3);
+        eng.run_cycles(40);
+        let completed: u64 = eng.nodes().map(|(_, n)| n.stats().completed).sum();
+        let initiated: u64 = eng.nodes().map(|(_, n)| n.stats().initiated).sum();
+        assert!(initiated >= 32 * 39, "nodes initiate nearly every cycle");
+        assert!(
+            completed as f64 / initiated as f64 > 0.95,
+            "exchanges succeed: {completed}/{initiated}"
+        );
+    }
+
+    #[test]
+    fn indegree_concentrates_like_figure_2() {
+        let cfg = small_cfg();
+        let mut eng = build(96, cfg, 4);
+        eng.run_cycles(100);
+        let mut indeg: HashMap<NodeId, usize> = HashMap::new();
+        for (_, node) in eng.nodes() {
+            for e in node.view().iter() {
+                *indeg.entry(e.desc.creator()).or_default() += 1;
+            }
+        }
+        assert_eq!(indeg.len(), 96, "every node has inbound links");
+        let min = *indeg.values().min().unwrap();
+        let max = *indeg.values().max().unwrap();
+        assert!(min >= 2, "no starved nodes (min {min})");
+        assert!(max <= cfg.view_len * 3, "no hubs (max {max})");
+    }
+
+    #[test]
+    fn views_never_hold_self_dups_or_foreign_descriptors() {
+        let mut eng = build(32, small_cfg(), 5);
+        for _ in 0..30 {
+            eng.run_cycle();
+            for (_, node) in eng.nodes() {
+                let mut ids = Vec::new();
+                for e in node.view().iter() {
+                    assert_ne!(e.desc.creator(), node.id(), "no self-links");
+                    assert_eq!(e.desc.owner(), node.id(), "owns all view entries");
+                    assert!(!e.desc.is_redeemed());
+                    ids.push(e.desc.id());
+                }
+                let mut dedup = ids.clone();
+                dedup.sort();
+                dedup.dedup();
+                assert_eq!(dedup.len(), ids.len(), "no duplicate descriptor ids");
+            }
+        }
+    }
+
+    #[test]
+    fn descriptor_ages_bounded_in_equilibrium() {
+        let cfg = small_cfg();
+        let mut eng = build(48, cfg, 6);
+        eng.run_cycles(120);
+        let tpc = cfg.ticks_per_cycle;
+        let now = Timestamp(eng.clock().now());
+        let max_age = eng
+            .nodes()
+            .flat_map(|(_, n)| {
+                n.view()
+                    .iter()
+                    .map(|e| e.desc.age_cycles(now, tpc))
+                    .collect::<Vec<_>>()
+            })
+            .max()
+            .unwrap();
+        assert!(
+            max_age < cfg.view_len as u64 * 8,
+            "descriptor lifetime bounded (max {max_age})"
+        );
+    }
+
+    #[test]
+    fn lossy_network_heals_with_ns_descriptors() {
+        let cfg = small_cfg();
+        let mut eng = build_net(48, cfg, 7, NetworkModel::lossy(0.10));
+        eng.run_cycles(80);
+        // Despite 10% loss in every direction, no false proofs and views
+        // recover through NS back-fill.
+        let mut lens = Vec::new();
+        for (_, node) in eng.nodes() {
+            assert!(node.proof_log().is_empty(), "loss is not a violation");
+            lens.push(node.view().len());
+        }
+        let avg = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!(avg > cfg.view_len as f64 * 0.7, "avg view {avg}");
+        let backfills: u64 = eng.nodes().map(|(_, n)| n.stats().ns_backfills).sum();
+        assert!(backfills > 0, "NS repair actually used");
+    }
+
+    #[test]
+    fn mass_failure_purges_dead_links() {
+        let cfg = small_cfg();
+        let mut eng = build(80, cfg, 8);
+        eng.run_cycles(40);
+        for a in 0..32u32 {
+            eng.kill(a);
+        }
+        eng.run_cycles(60);
+        let mut dead = 0usize;
+        let mut total = 0usize;
+        for (_, node) in eng.nodes() {
+            for e in node.view().iter() {
+                total += 1;
+                if e.desc.addr() < 32 {
+                    dead += 1;
+                }
+            }
+        }
+        assert!(
+            (dead as f64 / total as f64) < 0.05,
+            "dead links purged ({dead}/{total})"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let digest = |seed: u64| {
+            let mut eng = build(24, small_cfg(), seed);
+            eng.run_cycles(30);
+            eng.nodes()
+                .map(|(_, n)| {
+                    (
+                        n.stats().completed,
+                        n.view().len(),
+                        n.view()
+                            .iter()
+                            .map(|e| e.desc.created_at().ticks())
+                            .sum::<u64>(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(digest(42), digest(42));
+    }
+
+    #[test]
+    fn samples_accumulate_and_prune() {
+        let mut eng = build(32, small_cfg(), 9);
+        eng.run_cycles(30);
+        let counts: Vec<usize> = eng.nodes().map(|(_, n)| n.sample_count()).collect();
+        assert!(counts.iter().all(|&c| c > 0), "caches in use");
+        // Retention bounds memory: far fewer samples than total descriptors
+        // ever created (32 nodes × 30 cycles plus bootstrap).
+        assert!(counts.iter().all(|&c| c < 32 * 38));
+    }
+}

@@ -1,0 +1,120 @@
+//! The redemption cache (§V-C).
+//!
+//! Old descriptors get redeemed almost as soon as they are received, so a
+//! clone made at high age may vanish before ever being cross-checked. To
+//! close that window, a node keeps each descriptor it redeems for a few
+//! cycles and ships those copies as samples in every gossip message,
+//! giving the network a post-mortem chance to match them against
+//! still-circulating clones.
+
+use crate::descriptor::SecureDescriptor;
+use sc_crypto::NodeId;
+use std::collections::VecDeque;
+
+/// FIFO cache of recently redeemed descriptors.
+#[derive(Debug, Default)]
+pub struct RedemptionCache {
+    entries: VecDeque<(u64, SecureDescriptor)>,
+    retention_cycles: u64,
+}
+
+impl RedemptionCache {
+    /// Creates a cache retaining redeemed descriptors for
+    /// `retention_cycles` cycles. Zero disables the mechanism (the paper's
+    /// "no redemption cache" baseline in Figure 7).
+    pub fn new(retention_cycles: u64) -> Self {
+        RedemptionCache {
+            entries: VecDeque::new(),
+            retention_cycles,
+        }
+    }
+
+    /// Records a descriptor this node just redeemed.
+    pub fn push(&mut self, desc: SecureDescriptor, cycle: u64) {
+        if self.retention_cycles == 0 {
+            return;
+        }
+        self.entries.push_back((cycle, desc));
+    }
+
+    /// Number of retained descriptors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the retained descriptors (sent as gossip samples).
+    pub fn iter(&self) -> impl Iterator<Item = &SecureDescriptor> {
+        self.entries.iter().map(|(_, d)| d)
+    }
+
+    /// Drops entries older than the retention window.
+    pub fn prune(&mut self, now_cycle: u64) {
+        let horizon = now_cycle.saturating_sub(self.retention_cycles);
+        while let Some((cycle, _)) = self.entries.front() {
+            if *cycle < horizon {
+                self.entries.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Removes entries created by `creator` (post-blacklist purge).
+    pub fn purge_creator(&mut self, creator: &NodeId) {
+        self.entries.retain(|(_, d)| d.creator() != *creator);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::LinkKind;
+    use crate::time::Timestamp;
+    use sc_crypto::{Keypair, Scheme};
+
+    fn redeemed(tag: u8, ts: u64) -> SecureDescriptor {
+        let a = Keypair::from_seed(Scheme::Schnorr61, [tag; 32]);
+        let b = Keypair::from_seed(Scheme::Schnorr61, [tag + 100; 32]);
+        SecureDescriptor::create(&a, 0, Timestamp(ts))
+            .transfer(&a, b.public())
+            .unwrap()
+            .redeem(&b, LinkKind::Redeem)
+            .unwrap()
+    }
+
+    #[test]
+    fn push_and_prune() {
+        let mut cache = RedemptionCache::new(5);
+        cache.push(redeemed(1, 0), 10);
+        cache.push(redeemed(2, 0), 12);
+        assert_eq!(cache.len(), 2);
+        cache.prune(16);
+        assert_eq!(cache.len(), 1, "entry from cycle 10 expired");
+        cache.prune(18);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn zero_retention_disables() {
+        let mut cache = RedemptionCache::new(0);
+        cache.push(redeemed(1, 0), 10);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn purge_creator() {
+        let mut cache = RedemptionCache::new(5);
+        let d1 = redeemed(1, 0);
+        let victim = d1.creator();
+        cache.push(d1, 10);
+        cache.push(redeemed(2, 0), 10);
+        cache.purge_creator(&victim);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.iter().all(|d| d.creator() != victim));
+    }
+}

@@ -1,0 +1,60 @@
+//! Descriptor timestamps.
+//!
+//! SecureCyclon descriptors carry a wall-clock creation timestamp (§IV-A)
+//! used by the frequency check: two distinct descriptors from the same
+//! creator whose timestamps are closer than the gossip period prove a
+//! frequency violation (§IV-B). In simulation, timestamps are measured in
+//! engine ticks; each node stamps `cycle · ticks_per_cycle + phase` with a
+//! stable per-node phase, so honest creations are always spaced exactly one
+//! period apart.
+
+/// A point in simulated time, in engine ticks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Raw tick value.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The cycle this timestamp falls in, at resolution `ticks_per_cycle`.
+    pub fn cycle(self, ticks_per_cycle: u64) -> u64 {
+        self.0 / ticks_per_cycle
+    }
+
+    /// Absolute distance to another timestamp, in ticks.
+    pub fn distance(self, other: Timestamp) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+
+    /// Age relative to `now`, in whole cycles (0 if `now` is earlier).
+    pub fn age_cycles(self, now: Timestamp, ticks_per_cycle: u64) -> u64 {
+        now.0.saturating_sub(self.0) / ticks_per_cycle
+    }
+}
+
+impl core::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_and_age() {
+        let t = Timestamp(2500);
+        assert_eq!(t.cycle(1000), 2);
+        assert_eq!(t.age_cycles(Timestamp(5700), 1000), 3);
+        assert_eq!(Timestamp(9000).age_cycles(Timestamp(100), 1000), 0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        assert_eq!(Timestamp(10).distance(Timestamp(25)), 15);
+        assert_eq!(Timestamp(25).distance(Timestamp(10)), 15);
+    }
+}

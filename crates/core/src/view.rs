@@ -1,0 +1,326 @@
+//! The secure partial view.
+//!
+//! Like the legacy Cyclon view, but entries are owned
+//! [`SecureDescriptor`]s and each carries the *non-swappable* marker of
+//! §V-A: a non-swappable entry is a retained copy of a descriptor whose
+//! ownership was transferred away; it may only be redeemed (used as a
+//! gossiping token toward its creator), never swapped to a third party.
+//!
+//! Invariants:
+//!
+//! 1. at most `capacity` (ℓ) entries;
+//! 2. no entry's descriptor was created by the view's owner;
+//! 3. at most one entry per descriptor identity (two copies of one token
+//!    in a single view would be self-made cloning evidence);
+//! 4. every entry's descriptor is currently owned by the view's owner and
+//!    is not redeemed.
+//!
+//! Unlike legacy Cyclon, the view does **not** dedup by creator: secure
+//! descriptors are conserved single-owner tokens, so discarding one for
+//! merely sharing a creator with an existing entry would permanently
+//! destroy a link. Two live descriptors of the same creator are distinct
+//! tokens and may coexist.
+
+use crate::descriptor::SecureDescriptor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use sc_crypto::NodeId;
+
+/// A view slot: an owned descriptor plus its swappability.
+#[derive(Clone, Debug)]
+pub struct ViewEntry {
+    /// The owned descriptor.
+    pub desc: SecureDescriptor,
+    /// Whether this is a retained non-swappable copy (§V-A).
+    pub non_swappable: bool,
+}
+
+/// A bounded list of owned neighbor descriptors.
+#[derive(Debug)]
+pub struct SecureView {
+    owner: NodeId,
+    capacity: usize,
+    entries: Vec<ViewEntry>,
+}
+
+impl SecureView {
+    /// Creates an empty view for `owner` with `capacity` slots (ℓ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(owner: NodeId, capacity: usize) -> Self {
+        assert!(capacity > 0, "view capacity must be positive");
+        SecureView {
+            owner,
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of entries held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the view holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum entries (ℓ).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Free slots.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Number of non-swappable entries (the Figure 6 metric).
+    pub fn ns_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.non_swappable).count()
+    }
+
+    /// Whether a descriptor created by `creator` is present.
+    pub fn contains_creator(&self, creator: &NodeId) -> bool {
+        self.entries.iter().any(|e| e.desc.creator() == *creator)
+    }
+
+    /// Whether this exact descriptor identity is present.
+    pub fn contains_id(&self, id: &crate::descriptor::DescriptorId) -> bool {
+        self.entries.iter().any(|e| e.desc.id() == *id)
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> impl Iterator<Item = &ViewEntry> {
+        self.entries.iter()
+    }
+
+    /// Whether `desc` would be accepted by [`SecureView::insert`].
+    pub fn can_insert(&self, desc: &SecureDescriptor) -> bool {
+        desc.creator() != self.owner
+            && desc.owner() == self.owner
+            && !desc.is_redeemed()
+            && !self.contains_id(&desc.id())
+            && self.entries.len() < self.capacity
+    }
+
+    /// Inserts an owned descriptor; reports whether it was stored.
+    ///
+    /// Rejects entries violating the view invariants (see module docs).
+    pub fn insert(&mut self, desc: SecureDescriptor, non_swappable: bool) -> bool {
+        if !self.can_insert(&desc) {
+            return false;
+        }
+        self.entries.push(ViewEntry {
+            desc,
+            non_swappable,
+        });
+        true
+    }
+
+    /// Removes and returns the entry with the oldest creation timestamp —
+    /// the descriptor SecureCyclon redeems next.
+    pub fn remove_oldest(&mut self) -> Option<ViewEntry> {
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.desc.created_at())?
+            .0;
+        Some(self.entries.swap_remove(idx))
+    }
+
+    /// Removes and returns up to `k` random **swappable** descriptors
+    /// (non-swappable entries may never be traded away).
+    pub fn remove_random_swappable<R: Rng + ?Sized>(
+        &mut self,
+        k: usize,
+        rng: &mut R,
+    ) -> Vec<SecureDescriptor> {
+        self.remove_random_swappable_filtered(k, rng, |_| true)
+    }
+
+    /// Like [`SecureView::remove_random_swappable`] but only considers
+    /// entries matching `keep`. Used by exchanges to avoid handing a
+    /// partner descriptors it created itself (a pointless link that would
+    /// die on arrival).
+    pub fn remove_random_swappable_filtered<R, F>(
+        &mut self,
+        k: usize,
+        rng: &mut R,
+        keep: F,
+    ) -> Vec<SecureDescriptor>
+    where
+        R: Rng + ?Sized,
+        F: Fn(&SecureDescriptor) -> bool,
+    {
+        let mut swappable: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.non_swappable && keep(&e.desc))
+            .map(|(i, _)| i)
+            .collect();
+        let k = k.min(swappable.len());
+        swappable.partial_shuffle(rng, k);
+        let mut picked: Vec<usize> = swappable[..k].to_vec();
+        // Remove from the back so earlier indices stay valid.
+        picked.sort_unstable_by(|a, b| b.cmp(a));
+        picked
+            .into_iter()
+            .map(|i| self.entries.swap_remove(i).desc)
+            .collect()
+    }
+
+    /// Replaces a **non-swappable** entry for `desc`'s creator with the
+    /// (swappable) `desc`. A retained NS copy is a phantom fallback; a
+    /// real owned descriptor of the same creator is strictly better, so
+    /// it takes the slot. Returns whether a replacement happened.
+    pub fn replace_ns_with(&mut self, desc: SecureDescriptor) -> bool {
+        if desc.creator() == self.owner || desc.owner() != self.owner || desc.is_redeemed() {
+            return false;
+        }
+        let Some(entry) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.non_swappable && e.desc.creator() == desc.creator())
+        else {
+            return false;
+        };
+        entry.desc = desc;
+        entry.non_swappable = false;
+        true
+    }
+
+    /// Removes all entries created by `creator`; returns how many were
+    /// dropped (post-blacklist purge).
+    pub fn purge_creator(&mut self, creator: &NodeId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.desc.creator() != *creator);
+        before - self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sc_crypto::{Keypair, Scheme};
+
+    fn kp(tag: u8) -> Keypair {
+        Keypair::from_seed(Scheme::Schnorr61, [tag; 32])
+    }
+
+    /// A descriptor created by `creator_tag`, owned by `owner`.
+    fn owned_desc(creator_tag: u8, ts: u64, owner: &Keypair) -> SecureDescriptor {
+        let c = kp(creator_tag);
+        SecureDescriptor::create(&c, creator_tag as u32, Timestamp(ts))
+            .transfer(&c, owner.public())
+            .unwrap()
+    }
+
+    #[test]
+    fn insert_enforces_invariants() {
+        let me = kp(0);
+        let mut v = SecureView::new(me.public(), 2);
+
+        // Own descriptor rejected.
+        let own = SecureDescriptor::create(&me, 0, Timestamp(0));
+        assert!(!v.insert(own, false));
+
+        // Descriptor not owned by me rejected.
+        let other = kp(9);
+        let not_mine = owned_desc(1, 0, &other);
+        assert!(!v.insert(not_mine, false));
+
+        // Valid insert.
+        let first = owned_desc(1, 0, &me);
+        assert!(v.insert(first.clone(), false));
+        // The same token twice is rejected…
+        assert!(!v.insert(first, false));
+        // …but a *distinct* token by the same creator is welcome.
+        assert!(v.insert(owned_desc(1, 1000, &me), false));
+        // Capacity enforced.
+        assert!(!v.insert(owned_desc(3, 0, &me), false));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn redeemed_descriptor_rejected() {
+        use crate::descriptor::LinkKind;
+        let me = kp(0);
+        let mut v = SecureView::new(me.public(), 4);
+        let d = owned_desc(1, 0, &me).redeem(&me, LinkKind::Redeem).unwrap();
+        assert!(!v.insert(d, false));
+    }
+
+    #[test]
+    fn remove_oldest_by_creation_time() {
+        let me = kp(0);
+        let mut v = SecureView::new(me.public(), 4);
+        v.insert(owned_desc(1, 5000, &me), false);
+        v.insert(owned_desc(2, 1000, &me), false);
+        v.insert(owned_desc(3, 9000, &me), false);
+        let oldest = v.remove_oldest().unwrap();
+        assert_eq!(oldest.desc.created_at(), Timestamp(1000));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn ns_entries_never_swapped() {
+        let me = kp(0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut v = SecureView::new(me.public(), 8);
+        v.insert(owned_desc(1, 0, &me), true);
+        v.insert(owned_desc(2, 0, &me), true);
+        v.insert(owned_desc(3, 0, &me), false);
+        let out = v.remove_random_swappable(5, &mut rng);
+        assert_eq!(out.len(), 1, "only the swappable entry leaves");
+        assert_eq!(v.ns_count(), 2);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn ns_entries_are_redeemable_via_oldest() {
+        let me = kp(0);
+        let mut v = SecureView::new(me.public(), 4);
+        v.insert(owned_desc(1, 100, &me), true);
+        v.insert(owned_desc(2, 900, &me), false);
+        let e = v.remove_oldest().unwrap();
+        assert!(e.non_swappable, "oldest entry may be non-swappable");
+    }
+
+    #[test]
+    fn purge_creator_counts() {
+        let me = kp(0);
+        let mut v = SecureView::new(me.public(), 4);
+        v.insert(owned_desc(1, 0, &me), false);
+        v.insert(owned_desc(2, 0, &me), false);
+        let victim = kp(1).public();
+        assert_eq!(v.purge_creator(&victim), 1);
+        assert_eq!(v.purge_creator(&victim), 0);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn remove_random_swappable_caps_at_available() {
+        let me = kp(0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut v = SecureView::new(me.public(), 8);
+        for t in 1..=4u8 {
+            v.insert(owned_desc(t, t as u64, &me), false);
+        }
+        let out = v.remove_random_swappable(3, &mut rng);
+        assert_eq!(out.len(), 3);
+        assert_eq!(v.len(), 1);
+        // Removed descriptors are gone.
+        for d in &out {
+            assert!(!v.contains_creator(&d.creator()));
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Schnorr signatures over the multiplicative group of the Mersenne prime
+//! `p = 2^61 - 1`.
+//!
+//! This is a *fully functional* public-key signature scheme — key
+//! generation, signing, and verification follow the textbook Schnorr
+//! construction (`g^s == r · pk^e (mod p)`) with a derandomized nonce.
+//! The only concession to simulation is the toy group size: a 61-bit
+//! discrete log offers no security against a real attacker, but the
+//! SecureCyclon threat model (ICDCS 2023, §II-A) explicitly assumes
+//! signatures cannot be forged, and no component of this repository ever
+//! attempts to break the group. What matters for reproducing the paper is
+//! that verification is genuine public-key verification, which this scheme
+//! provides at simulation-friendly speed.
+//!
+//! Exponent arithmetic is performed modulo `p - 1`; since the order of the
+//! generator divides `p - 1`, the verification identity holds exactly.
+
+use crate::sha256::sha256_concat;
+
+/// The Mersenne prime 2^61 − 1.
+pub const P: u64 = (1u64 << 61) - 1;
+/// Group exponents are reduced modulo `P - 1`.
+pub const P_MINUS_1: u64 = P - 1;
+/// Generator of a large subgroup of `Z_p^*`.
+pub const G: u64 = 3;
+
+/// Modular multiplication in `Z_p`.
+#[inline]
+pub fn mulmod(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % P as u128) as u64
+}
+
+/// Modular exponentiation `base^exp (mod p)` by square-and-multiply.
+pub fn powmod(mut base: u64, mut exp: u64) -> u64 {
+    base %= P;
+    let mut acc: u64 = 1;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod(acc, base);
+        }
+        base = mulmod(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Reduces a 16-byte big-endian value modulo `m` (used to derive nonces and
+/// challenges from hash output with negligible bias).
+fn reduce16(bytes: &[u8], m: u64) -> u64 {
+    let mut wide = [0u8; 16];
+    wide.copy_from_slice(&bytes[..16]);
+    (u128::from_be_bytes(wide) % m as u128) as u64
+}
+
+/// A Schnorr secret exponent together with its public element.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SchnorrKey {
+    /// Secret exponent `x` in `[1, p-2]`.
+    pub x: u64,
+    /// Public element `g^x mod p`.
+    pub pk: u64,
+}
+
+impl core::fmt::Debug for SchnorrKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Deliberately omit the secret exponent.
+        f.debug_struct("SchnorrKey").field("pk", &self.pk).finish()
+    }
+}
+
+impl SchnorrKey {
+    /// Derives a keypair deterministically from a 32-byte seed.
+    pub fn from_seed(seed: &[u8; 32]) -> Self {
+        let h = sha256_concat(&[b"sc/schnorr-keygen", seed]);
+        let x = 1 + reduce16(&h, P_MINUS_1 - 1);
+        SchnorrKey { x, pk: powmod(G, x) }
+    }
+
+    /// Signs `msg`, returning the `(r, s)` pair.
+    ///
+    /// The nonce is derived deterministically from the seed material and the
+    /// message (RFC-6979 style), so signing never requires an RNG and
+    /// repeated signatures of the same message are identical.
+    pub fn sign(&self, seed: &[u8; 32], msg: &[u8]) -> (u64, u64) {
+        let nh = sha256_concat(&[b"sc/schnorr-nonce", seed, msg]);
+        let mut k = reduce16(&nh, P_MINUS_1);
+        if k == 0 {
+            k = 1;
+        }
+        let r = powmod(G, k);
+        let e = challenge(r, self.pk, msg);
+        // s = k + e·x (mod p-1)
+        let ex = (e as u128 * self.x as u128) % P_MINUS_1 as u128;
+        let s = ((k as u128 + ex) % P_MINUS_1 as u128) as u64;
+        (r, s)
+    }
+}
+
+/// Computes the Fiat–Shamir challenge `e = H(r ‖ pk ‖ msg) mod (p-1)`.
+fn challenge(r: u64, pk: u64, msg: &[u8]) -> u64 {
+    let h = sha256_concat(&[b"sc/schnorr-chal", &r.to_be_bytes(), &pk.to_be_bytes(), msg]);
+    reduce16(&h, P_MINUS_1)
+}
+
+/// Verifies a Schnorr signature `(r, s)` on `msg` against public element
+/// `pk`: checks `g^s == r · pk^e (mod p)`.
+pub fn verify(pk: u64, msg: &[u8], r: u64, s: u64) -> bool {
+    if r == 0 || r >= P || s >= P_MINUS_1 || pk == 0 || pk >= P {
+        return false;
+    }
+    let e = challenge(r, pk, msg);
+    powmod(G, s) == mulmod(r, powmod(pk, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u8) -> (SchnorrKey, [u8; 32]) {
+        let seed = [tag; 32];
+        (SchnorrKey::from_seed(&seed), seed)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (k, seed) = key(7);
+        let (r, s) = k.sign(&seed, b"hello overlay");
+        assert!(verify(k.pk, b"hello overlay", r, s));
+    }
+
+    #[test]
+    fn rejects_tampered_message() {
+        let (k, seed) = key(7);
+        let (r, s) = k.sign(&seed, b"hello overlay");
+        assert!(!verify(k.pk, b"hello overlaz", r, s));
+    }
+
+    #[test]
+    fn rejects_wrong_key() {
+        let (k1, seed1) = key(1);
+        let (k2, _) = key(2);
+        let (r, s) = k1.sign(&seed1, b"msg");
+        assert!(!verify(k2.pk, b"msg", r, s));
+    }
+
+    #[test]
+    fn rejects_tampered_signature_parts() {
+        let (k, seed) = key(9);
+        let (r, s) = k.sign(&seed, b"msg");
+        assert!(!verify(k.pk, b"msg", r ^ 1, s));
+        assert!(!verify(k.pk, b"msg", r, s ^ 1));
+    }
+
+    #[test]
+    fn rejects_out_of_range_values() {
+        let (k, seed) = key(3);
+        let (_, s) = k.sign(&seed, b"m");
+        assert!(!verify(k.pk, b"m", 0, s));
+        assert!(!verify(k.pk, b"m", P, s));
+        assert!(!verify(0, b"m", 1, s));
+    }
+
+    #[test]
+    fn signing_is_deterministic() {
+        let (k, seed) = key(4);
+        assert_eq!(k.sign(&seed, b"m"), k.sign(&seed, b"m"));
+        assert_ne!(k.sign(&seed, b"m"), k.sign(&seed, b"n"));
+    }
+
+    #[test]
+    fn powmod_basics() {
+        assert_eq!(powmod(G, 0), 1);
+        assert_eq!(powmod(G, 1), G);
+        assert_eq!(powmod(G, 2), 9);
+        // Fermat: g^(p-1) == 1 (mod p) for prime p.
+        assert_eq!(powmod(G, P_MINUS_1), 1);
+    }
+
+    #[test]
+    fn mulmod_matches_u128_reference() {
+        let cases = [(P - 1, P - 1), (12345, 678910), (P - 2, 2)];
+        for (a, b) in cases {
+            let want = ((a as u128 * b as u128) % P as u128) as u64;
+            assert_eq!(mulmod(a, b), want);
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_keys() {
+        let (k1, _) = key(10);
+        let (k2, _) = key(11);
+        assert_ne!(k1.pk, k2.pk);
+    }
+}

@@ -1,0 +1,36 @@
+//! # sc-cyclon — the legacy Cyclon peer-sampling baseline
+//!
+//! A faithful implementation of the original Cyclon shuffle protocol
+//! (Voulgaris, Gavidia & van Steen, 2005) as described in §II-B of the
+//! SecureCyclon paper. It exists for two reasons:
+//!
+//! 1. it is the substrate SecureCyclon extends, and
+//! 2. it is the **baseline** of the paper's evaluation — Figure 2
+//!    (indegree distribution) and Figure 3 (hub-attack takeover) are
+//!    measured on this protocol.
+//!
+//! The crate deliberately reproduces legacy Cyclon's *lack* of defenses:
+//! descriptors are unauthenticated and nodes trust whatever their gossip
+//! partners present.
+//!
+//! # Example
+//!
+//! ```
+//! use sc_cyclon::{CyclonConfig, CyclonNode};
+//! use sc_crypto::{Keypair, Scheme};
+//!
+//! let kp = Keypair::from_seed(Scheme::KeyedHash, [1u8; 32]);
+//! let node = CyclonNode::new(kp.public(), 0, CyclonConfig::default(), [0u8; 32]);
+//! assert_eq!(node.view().capacity(), 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod descriptor;
+pub mod node;
+pub mod view;
+
+pub use descriptor::LegacyDescriptor;
+pub use node::{CyclonConfig, CyclonMsg, CyclonNode, CyclonStats};
+pub use view::View;

@@ -1,0 +1,200 @@
+//! The partial view: a node's bounded list of neighbor descriptors.
+//!
+//! Invariants maintained at all times:
+//!
+//! 1. at most `capacity` (the paper's ℓ, "view length") entries;
+//! 2. no entry points at the view's owner;
+//! 3. at most one entry per node ID.
+
+use crate::descriptor::LegacyDescriptor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use sc_crypto::NodeId;
+
+/// A bounded, duplicate-free list of neighbor descriptors.
+#[derive(Clone, Debug)]
+pub struct View {
+    owner: NodeId,
+    capacity: usize,
+    entries: Vec<LegacyDescriptor>,
+}
+
+impl View {
+    /// Creates an empty view for `owner` holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(owner: NodeId, capacity: usize) -> Self {
+        assert!(capacity > 0, "view capacity must be positive");
+        View {
+            owner,
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of descriptors currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the view holds no descriptors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of descriptors (the paper's ℓ).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of free slots.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Whether a descriptor for `id` is present.
+    pub fn contains(&self, id: &NodeId) -> bool {
+        self.entries.iter().any(|d| d.id == *id)
+    }
+
+    /// Iterates over the descriptors.
+    pub fn iter(&self) -> impl Iterator<Item = &LegacyDescriptor> {
+        self.entries.iter()
+    }
+
+    /// Inserts `d` if it respects the invariants; reports whether it was
+    /// stored.
+    pub fn insert(&mut self, d: LegacyDescriptor) -> bool {
+        if d.id == self.owner || self.contains(&d.id) || self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.push(d);
+        true
+    }
+
+    /// Increments the age of every descriptor (start-of-cycle bookkeeping).
+    pub fn increment_ages(&mut self) {
+        for d in &mut self.entries {
+            d.age = d.age.saturating_add(1);
+        }
+    }
+
+    /// Removes and returns the oldest descriptor (ties broken arbitrarily).
+    pub fn remove_oldest(&mut self) -> Option<LegacyDescriptor> {
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, d)| d.age)?
+            .0;
+        Some(self.entries.swap_remove(idx))
+    }
+
+    /// Removes and returns up to `k` uniformly random descriptors.
+    pub fn remove_random<R: Rng + ?Sized>(&mut self, k: usize, rng: &mut R) -> Vec<LegacyDescriptor> {
+        let k = k.min(self.entries.len());
+        self.entries.partial_shuffle(rng, k);
+        let split = self.entries.len() - k;
+        self.entries.split_off(split)
+    }
+
+    /// Removes the descriptor for `id`, if present.
+    pub fn remove_id(&mut self, id: &NodeId) -> Option<LegacyDescriptor> {
+        let idx = self.entries.iter().position(|d| d.id == *id)?;
+        Some(self.entries.swap_remove(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sc_crypto::{Keypair, Scheme};
+
+    fn id(tag: u8) -> NodeId {
+        Keypair::from_seed(Scheme::KeyedHash, [tag; 32]).public()
+    }
+
+    fn desc(tag: u8, age: u32) -> LegacyDescriptor {
+        LegacyDescriptor {
+            id: id(tag),
+            addr: tag as u32,
+            age,
+        }
+    }
+
+    #[test]
+    fn rejects_self_duplicates_and_overflow() {
+        let mut v = View::new(id(0), 2);
+        assert!(!v.insert(desc(0, 1)), "own descriptor rejected");
+        assert!(v.insert(desc(1, 1)));
+        assert!(!v.insert(desc(1, 5)), "duplicate id rejected");
+        assert!(v.insert(desc(2, 1)));
+        assert!(!v.insert(desc(3, 1)), "capacity enforced");
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.free_slots(), 0);
+    }
+
+    #[test]
+    fn remove_oldest_picks_max_age() {
+        let mut v = View::new(id(0), 4);
+        v.insert(desc(1, 3));
+        v.insert(desc(2, 9));
+        v.insert(desc(3, 5));
+        assert_eq!(v.remove_oldest().unwrap().id, id(2));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn remove_oldest_empty_is_none() {
+        let mut v = View::new(id(0), 4);
+        assert!(v.remove_oldest().is_none());
+    }
+
+    #[test]
+    fn remove_random_respects_k_and_removes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut v = View::new(id(0), 8);
+        for t in 1..=6u8 {
+            v.insert(desc(t, t as u32));
+        }
+        let out = v.remove_random(4, &mut rng);
+        assert_eq!(out.len(), 4);
+        assert_eq!(v.len(), 2);
+        for d in &out {
+            assert!(!v.contains(&d.id));
+        }
+    }
+
+    #[test]
+    fn remove_random_caps_at_len() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut v = View::new(id(0), 8);
+        v.insert(desc(1, 1));
+        let out = v.remove_random(5, &mut rng);
+        assert_eq!(out.len(), 1);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn ages_increment() {
+        let mut v = View::new(id(0), 4);
+        v.insert(desc(1, 0));
+        v.increment_ages();
+        v.increment_ages();
+        assert_eq!(v.iter().next().unwrap().age, 2);
+    }
+
+    #[test]
+    fn remove_id_works() {
+        let mut v = View::new(id(0), 4);
+        v.insert(desc(1, 0));
+        v.insert(desc(2, 0));
+        assert_eq!(v.remove_id(&id(1)).unwrap().id, id(1));
+        assert!(v.remove_id(&id(1)).is_none());
+        assert_eq!(v.len(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! **Figure 3** — the hub attack takes over legacy Cyclon.
+//!
+//! Paper setup: 1k nodes (view 20, 20 malicious) and 10k nodes (view 50,
+//! 50 malicious); all nodes correct until cycle 50, then the malicious
+//! start presenting all-malicious views. Swap lengths 3, 5, 8, 10.
+//! Expected shape: links to malicious nodes rise from the malicious
+//! population share to 100%, faster for larger swap lengths.
+
+use crate::common::{banner, results_dir, Scale};
+use sc_attacks::{build_legacy_network, legacy_malicious_link_fraction, LegacyNetParams};
+use sc_cyclon::CyclonConfig;
+use sc_metrics::{ascii_chart, save_series_csv, TimeSeries};
+
+/// One takeover run; returns the malicious-link percentage over time.
+pub fn takeover_series(
+    n: usize,
+    n_malicious: usize,
+    view_len: usize,
+    swap_len: usize,
+    attack_start: u64,
+    cycles: u64,
+    seed: u64,
+) -> TimeSeries {
+    let (mut engine, malicious) = build_legacy_network(LegacyNetParams {
+        n,
+        n_malicious,
+        cfg: CyclonConfig { view_len, swap_len },
+        attack_start,
+        seed,
+    });
+    let mut series = TimeSeries::new(format!("swap length {swap_len}"));
+    for c in 0..cycles {
+        engine.run_cycle();
+        if c % 5 == 0 {
+            series.push(
+                c,
+                100.0 * legacy_malicious_link_fraction(&engine, &malicious),
+            );
+        }
+    }
+    series
+}
+
+/// Runs the Figure 3 experiment at the given scale.
+pub fn run(scale: Scale) {
+    banner("Figure 3: hub attack takes over legacy Cyclon");
+    let configs: Vec<(usize, usize, usize, u64, &str)> = match scale {
+        Scale::Smoke => vec![(300, 20, 20, 220, "fig3_300_view20.csv")],
+        Scale::Quick => vec![(1000, 20, 20, 500, "fig3_1k_view20.csv")],
+        Scale::Full => vec![
+            (1000, 20, 20, 500, "fig3_1k_view20.csv"),
+            (10_000, 50, 50, 500, "fig3_10k_view50.csv"),
+        ],
+    };
+    for (n, view_len, n_malicious, cycles, file) in configs {
+        println!(
+            "nodes:{n}, view:{view_len}, malicious nodes:{n_malicious}, attack at cycle 50"
+        );
+        let mut all = Vec::new();
+        for swap_len in [3usize, 5, 8, 10] {
+            let s = takeover_series(n, n_malicious, view_len, swap_len, 50, cycles, 42);
+            println!(
+                "  swap length {swap_len}: 50% crossed at cycle {:?}, final {:.1}%",
+                s.points()
+                    .iter()
+                    .find(|&&(_, v)| v >= 50.0)
+                    .map(|&(c, _)| c),
+                s.last().unwrap_or(0.0)
+            );
+            all.push(s);
+        }
+        let path = results_dir().join(file);
+        save_series_csv(&path, &all).expect("write series");
+        print!("{}", ascii_chart(&all, 60));
+        println!("  [{}]", path.display());
+        println!("  paper shape: takeover to ~100%, faster with larger swap length");
+    }
+}

@@ -1,0 +1,177 @@
+//! Integer histograms (the Figure 2 indegree distribution).
+
+use std::collections::BTreeMap;
+
+/// A sparse histogram over `u64` values.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        *self.counts.entry(value).or_default() += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of observations equal to `value`.
+    pub fn count(&self, value: u64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(value, count)` in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Smallest observed value.
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Largest observed value.
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Arithmetic mean of the observations.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.counts.iter().map(|(&v, &c)| v * c).sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var: f64 = self
+            .counts
+            .iter()
+            .map(|(&v, &c)| c as f64 * (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / self.total as f64;
+        var.sqrt()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by cumulative count.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (&v, &c) in &self.counts {
+            cum += c;
+            if cum >= target {
+                return Some(v);
+            }
+        }
+        self.max()
+    }
+
+    /// Fraction of observations within `[lo, hi]` inclusive.
+    pub fn fraction_within(&self, lo: u64, hi: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let inside: u64 = self
+            .counts
+            .range(lo..=hi)
+            .map(|(_, &c)| c)
+            .sum();
+        inside as f64 / self.total as f64
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Histogram {
+        [1u64, 2, 2, 3, 3, 3, 10].into_iter().collect()
+    }
+
+    #[test]
+    fn counts_and_total() {
+        let h = sample();
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.count(99), 0);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(10));
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let h = sample();
+        let mean = (1 + 2 + 2 + 3 + 3 + 3 + 10) as f64 / 7.0;
+        assert!((h.mean() - mean).abs() < 1e-9);
+        assert!(h.std_dev() > 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let h = sample();
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(1.0), Some(10));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn fraction_within_range() {
+        let h = sample();
+        assert!((h.fraction_within(2, 3) - 5.0 / 7.0).abs() < 1e-9);
+        assert_eq!(h.fraction_within(100, 200), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut h = sample();
+        h.extend([3u64, 3]);
+        assert_eq!(h.count(3), 5);
+    }
+}

@@ -1,0 +1,30 @@
+//! # sc-metrics — measurement and reporting for the SecureCyclon evaluation
+//!
+//! Protocol-agnostic analysis tools behind every figure of the paper's
+//! evaluation (§VI):
+//!
+//! * [`histogram`] — integer histograms (Figure 2's indegree
+//!   distribution), with quantiles and concentration checks.
+//! * [`series`] — named per-cycle time series (the lines of Figures 3,
+//!   5, 6).
+//! * [`stats`] — summary statistics and *shape assertions*: the
+//!   qualitative claims ("spikes then decays", "stays below") that define
+//!   what reproducing a figure means when absolute numbers depend on the
+//!   substrate.
+//! * [`output`] — CSV emitters (one file per figure) and compact ASCII
+//!   charts for terminal inspection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod output;
+pub mod series;
+pub mod stats;
+
+pub use histogram::Histogram;
+pub use output::{
+    ascii_chart, save_histogram_csv, save_series_csv, write_histogram_csv, write_series_csv,
+};
+pub use series::TimeSeries;
+pub use stats::{rises_after, spike_then_decay, stays_below, summarize, Shape, Summary};

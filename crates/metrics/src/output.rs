@@ -1,0 +1,173 @@
+//! Experiment output: CSV files (one column per series) and simple
+//! terminal rendering, so every figure of the paper can be regenerated as
+//! both a machine-readable file and a human-skimmable chart.
+
+use crate::histogram::Histogram;
+use crate::series::TimeSeries;
+use std::io::Write;
+use std::path::Path;
+
+/// Writes aligned time series as CSV: `cycle,<series...>`.
+///
+/// Series may have different cycle sets; missing values are left empty.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_series_csv<W: Write>(mut w: W, series: &[TimeSeries]) -> std::io::Result<()> {
+    let mut cycles: Vec<u64> = series
+        .iter()
+        .flat_map(|s| s.points().iter().map(|&(c, _)| c))
+        .collect();
+    cycles.sort_unstable();
+    cycles.dedup();
+
+    write!(w, "cycle")?;
+    for s in series {
+        write!(w, ",{}", s.name())?;
+    }
+    writeln!(w)?;
+    for &c in &cycles {
+        write!(w, "{c}")?;
+        for s in series {
+            match s.points().iter().find(|&&(pc, _)| pc == c) {
+                Some(&(_, v)) => write!(w, ",{v}")?,
+                None => write!(w, ",")?,
+            }
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Writes aligned series to a file path, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_series_csv(path: impl AsRef<Path>, series: &[TimeSeries]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = std::fs::File::create(path)?;
+    write_series_csv(std::io::BufWriter::new(file), series)
+}
+
+/// Writes a histogram as CSV: `value,count`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_histogram_csv<W: Write>(mut w: W, hist: &Histogram) -> std::io::Result<()> {
+    writeln!(w, "value,count")?;
+    for (v, c) in hist.iter() {
+        writeln!(w, "{v},{c}")?;
+    }
+    Ok(())
+}
+
+/// Writes a histogram to a file path, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_histogram_csv(path: impl AsRef<Path>, hist: &Histogram) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = std::fs::File::create(path)?;
+    write_histogram_csv(std::io::BufWriter::new(file), hist)
+}
+
+/// Renders series as a compact ASCII chart (rows = series, sparkline per
+/// row, min/max annotated) for terminal inspection.
+pub fn ascii_chart(series: &[TimeSeries], width: usize) -> String {
+    const LEVELS: &[char] = &[' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let mut out = String::new();
+    let global_max = series
+        .iter()
+        .filter_map(|s| s.max())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let max = if global_max.is_finite() && global_max > 0.0 {
+        global_max
+    } else {
+        1.0
+    };
+    for s in series {
+        let pts = s.points();
+        let mut line = String::with_capacity(width);
+        if pts.is_empty() {
+            line.push_str(&" ".repeat(width));
+        } else {
+            for i in 0..width {
+                let idx = i * pts.len() / width;
+                let v = pts[idx.min(pts.len() - 1)].1;
+                let level = ((v / max) * (LEVELS.len() - 1) as f64).round() as usize;
+                line.push(LEVELS[level.min(LEVELS.len() - 1)]);
+            }
+        }
+        out.push_str(&format!(
+            "{:<28} |{line}| last={:.2} max={:.2}\n",
+            s.name(),
+            s.last().unwrap_or(0.0),
+            s.max().unwrap_or(0.0)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_series() -> Vec<TimeSeries> {
+        let mut a = TimeSeries::new("a");
+        let mut b = TimeSeries::new("b");
+        a.push(0, 1.0);
+        a.push(1, 2.0);
+        b.push(1, 5.0);
+        vec![a, b]
+    }
+
+    #[test]
+    fn csv_alignment() {
+        let mut buf = Vec::new();
+        write_series_csv(&mut buf, &two_series()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "cycle,a,b");
+        assert_eq!(lines[1], "0,1,");
+        assert_eq!(lines[2], "1,2,5");
+    }
+
+    #[test]
+    fn histogram_csv() {
+        let h: Histogram = [3u64, 3, 5].into_iter().collect();
+        let mut buf = Vec::new();
+        write_histogram_csv(&mut buf, &h).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("3,2"));
+        assert!(text.contains("5,1"));
+    }
+
+    #[test]
+    fn ascii_chart_renders() {
+        let chart = ascii_chart(&two_series(), 20);
+        assert!(chart.contains('a'));
+        assert!(chart.contains("last=2.00"));
+        // Two rows.
+        assert_eq!(chart.lines().count(), 2);
+    }
+
+    #[test]
+    fn save_creates_directories() {
+        let dir = std::env::temp_dir().join("sc-metrics-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        save_series_csv(&path, &two_series()).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

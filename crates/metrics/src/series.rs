@@ -1,0 +1,117 @@
+//! Time series: per-cycle measurements, one per experiment line
+//! (e.g. "links to malicious nodes (%), swap length 3").
+
+/// A named sequence of `(cycle, value)` points.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series name (used as a CSV column header).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point. Cycles should be non-decreasing.
+    pub fn push(&mut self, cycle: u64, value: f64) {
+        self.points.push((cycle, value));
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// The maximum value, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .max_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Value at the first point with `point.cycle >= cycle`.
+    pub fn value_at(&self, cycle: u64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|&&(c, _)| c >= cycle)
+            .map(|&(_, v)| v)
+    }
+
+    /// Mean of values in the inclusive cycle window `[from, to]`.
+    pub fn window_mean(&self, from: u64, to: u64) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(c, _)| c >= from && c <= to)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            return None;
+        }
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        let mut s = TimeSeries::new("test");
+        for c in 0..10 {
+            s.push(c, c as f64 * 2.0);
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_query() {
+        let s = series();
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.last(), Some(18.0));
+        assert_eq!(s.max(), Some(18.0));
+        assert_eq!(s.value_at(5), Some(10.0));
+        assert_eq!(s.value_at(100), None);
+    }
+
+    #[test]
+    fn window_mean() {
+        let s = series();
+        assert_eq!(s.window_mean(2, 4), Some(6.0));
+        assert_eq!(s.window_mean(100, 200), None);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new("empty");
+        assert!(s.is_empty());
+        assert_eq!(s.last(), None);
+        assert_eq!(s.max(), None);
+    }
+}

@@ -1,0 +1,151 @@
+//! Membership churn: nodes joining, leaving, and failing without notice.
+//!
+//! The paper's system model (§II-A) allows nodes to "join, leave, or fail,
+//! with no prior notice". This module provides a small rate-based churn
+//! driver used by the self-healing experiments and the churn example: each
+//! step it kills every alive node independently with probability
+//! `leave_prob` and spawns `join_per_cycle` fresh nodes (fractional rates
+//! accumulate across cycles).
+
+use crate::engine::{Addr, Engine, SimNode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Churn rates per cycle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnConfig {
+    /// Per-node probability of leaving during a step.
+    pub leave_prob: f64,
+    /// Expected number of joins per step (may be fractional).
+    pub join_per_cycle: f64,
+}
+
+/// What a churn step did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChurnReport {
+    /// Addresses of nodes that left.
+    pub departed: Vec<Addr>,
+    /// Addresses of nodes that joined.
+    pub joined: Vec<Addr>,
+}
+
+/// Rate-based churn driver with its own deterministic RNG.
+#[derive(Debug)]
+pub struct Churn {
+    cfg: ChurnConfig,
+    rng: StdRng,
+    join_accumulator: f64,
+}
+
+impl Churn {
+    /// Creates a churn driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leave_prob` is outside `[0, 1]` or `join_per_cycle` is
+    /// negative.
+    pub fn new(cfg: ChurnConfig, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.leave_prob),
+            "leave_prob must be in [0, 1]"
+        );
+        assert!(cfg.join_per_cycle >= 0.0, "join_per_cycle must be >= 0");
+        Churn {
+            cfg,
+            rng: StdRng::seed_from_u64(seed ^ 0x6368_7572_6e21),
+            join_accumulator: 0.0,
+        }
+    }
+
+    /// Applies one step of churn to `engine`. New nodes are built by
+    /// `make`, which receives the address assigned to the joiner.
+    pub fn step<N: SimNode>(
+        &mut self,
+        engine: &mut Engine<N>,
+        mut make: impl FnMut(Addr) -> N,
+    ) -> ChurnReport {
+        let mut report = ChurnReport::default();
+
+        if self.cfg.leave_prob > 0.0 {
+            let alive: Vec<Addr> = engine.nodes().map(|(a, _)| a).collect();
+            for addr in alive {
+                if self.rng.gen::<f64>() < self.cfg.leave_prob {
+                    engine.kill(addr);
+                    report.departed.push(addr);
+                }
+            }
+        }
+
+        self.join_accumulator += self.cfg.join_per_cycle;
+        while self.join_accumulator >= 1.0 {
+            self.join_accumulator -= 1.0;
+            let addr = engine.spawn_with(&mut make);
+            report.joined.push(addr);
+        }
+
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CycleCtx, NodeCtx, SimConfig};
+
+    struct Nop;
+    impl SimNode for Nop {
+        type Msg = ();
+        fn on_cycle(&mut self, _ctx: &mut CycleCtx<'_, Self>) {}
+        fn on_rpc(&mut self, _f: Addr, _m: (), _c: &mut NodeCtx<'_, ()>) -> Option<()> {
+            None
+        }
+        fn on_oneway(&mut self, _f: Addr, _m: (), _c: &mut NodeCtx<'_, ()>) {}
+    }
+
+    #[test]
+    fn fractional_joins_accumulate() {
+        let mut eng = Engine::<Nop>::new(SimConfig::seeded(1));
+        let mut churn = Churn::new(
+            ChurnConfig {
+                leave_prob: 0.0,
+                join_per_cycle: 0.5,
+            },
+            9,
+        );
+        let mut joined = 0;
+        for _ in 0..10 {
+            joined += churn.step(&mut eng, |_| Nop).joined.len();
+        }
+        assert_eq!(joined, 5);
+    }
+
+    #[test]
+    fn full_leave_empties_network() {
+        let mut eng = Engine::<Nop>::new(SimConfig::seeded(1));
+        for _ in 0..10 {
+            eng.spawn_with(|_| Nop);
+        }
+        let mut churn = Churn::new(
+            ChurnConfig {
+                leave_prob: 1.0,
+                join_per_cycle: 0.0,
+            },
+            9,
+        );
+        let report = churn.step(&mut eng, |_| Nop);
+        assert_eq!(report.departed.len(), 10);
+        assert_eq!(eng.alive_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "leave_prob")]
+    fn invalid_leave_prob_rejected() {
+        Churn::new(
+            ChurnConfig {
+                leave_prob: 2.0,
+                join_per_cycle: 0.0,
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! The network fault model.
+//!
+//! The paper's system model allows messages to be "delayed or dropped"
+//! (§II-A). In a cycle-driven simulation, delay within a cycle is
+//! immaterial; what matters for protocol correctness is *loss*, which this
+//! model injects independently per message direction. Loss of a gossip
+//! request, loss of a response, and loss of a one-way (flooded) message are
+//! controlled separately so experiments can reproduce the §V-A repair
+//! scenarios precisely.
+
+/// Probabilities of message loss per direction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// Probability that an RPC request is lost before reaching the target
+    /// (the target never processes it).
+    pub drop_request: f64,
+    /// Probability that an RPC response is lost on the way back (the target
+    /// *did* process the request).
+    pub drop_response: f64,
+    /// Probability that a one-way message (e.g. a flooded proof) is lost.
+    pub drop_oneway: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::reliable()
+    }
+}
+
+impl NetworkModel {
+    /// A perfectly reliable network (no losses).
+    pub fn reliable() -> Self {
+        NetworkModel {
+            drop_request: 0.0,
+            drop_response: 0.0,
+            drop_oneway: 0.0,
+        }
+    }
+
+    /// A uniformly lossy network dropping every message independently with
+    /// probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn lossy(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        NetworkModel {
+            drop_request: p,
+            drop_response: p,
+            drop_oneway: p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_is_default() {
+        assert_eq!(NetworkModel::default(), NetworkModel::reliable());
+    }
+
+    #[test]
+    fn lossy_sets_all_directions() {
+        let m = NetworkModel::lossy(0.25);
+        assert_eq!(m.drop_request, 0.25);
+        assert_eq!(m.drop_response, 0.25);
+        assert_eq!(m.drop_oneway, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn lossy_rejects_out_of_range() {
+        NetworkModel::lossy(1.5);
+    }
+}

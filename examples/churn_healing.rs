@@ -1,0 +1,86 @@
+//! Self-healing under churn: nodes join and crash continuously, a
+//! catastrophic failure wipes out a third of the network, and the overlay
+//! keeps every survivor connected.
+//!
+//! ```text
+//! cargo run --release --example churn_healing
+//! ```
+
+use securecyclon::attacks::{build_secure_network, SecureAttack, SecureNet, SecureNetParams};
+use securecyclon::sim::Engine;
+use std::collections::{HashSet, VecDeque};
+
+/// Size of the largest weakly-connected component over honest views.
+fn largest_component(engine: &Engine<SecureNet>) -> usize {
+    let alive: Vec<u32> = engine.nodes().map(|(a, _)| a).collect();
+    let alive_set: HashSet<u32> = alive.iter().copied().collect();
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut best = 0;
+    for &start in &alive {
+        if seen.contains(&start) {
+            continue;
+        }
+        let mut q = VecDeque::from([start]);
+        seen.insert(start);
+        let mut size = 0;
+        while let Some(a) = q.pop_front() {
+            size += 1;
+            let Some(node) = engine.node(a) else { continue };
+            let Some(h) = node.honest() else { continue };
+            for e in h.view().iter() {
+                let peer = e.desc.addr();
+                if alive_set.contains(&peer) && seen.insert(peer) {
+                    q.push_back(peer);
+                }
+            }
+        }
+        best = best.max(size);
+    }
+    best
+}
+
+fn main() {
+    let mut params = SecureNetParams::new(400, 0, SecureAttack::None);
+    params.seed = 4;
+    let mut net = build_secure_network(params);
+
+    println!("converging a 400-node overlay…");
+    net.engine.run_cycles(40);
+    println!(
+        "  alive {}, largest connected component {}",
+        net.engine.alive_count(),
+        largest_component(&net.engine)
+    );
+
+    println!("\ncatastrophe: killing 130 random nodes at once");
+    for addr in (0..400u32).step_by(3).take(130) {
+        net.engine.kill(addr);
+    }
+    println!(
+        "  immediately after: alive {}, largest component {}",
+        net.engine.alive_count(),
+        largest_component(&net.engine)
+    );
+
+    net.engine.run_cycles(30);
+    let alive = net.engine.alive_count();
+    let comp = largest_component(&net.engine);
+    println!("\nafter 30 healing cycles: alive {alive}, largest component {comp}");
+
+    let mut dead_links = 0usize;
+    let mut total = 0usize;
+    for (_, n) in net.engine.nodes() {
+        for e in n.honest().unwrap().view().iter() {
+            total += 1;
+            if !net.engine.is_alive(e.desc.addr()) {
+                dead_links += 1;
+            }
+        }
+    }
+    println!(
+        "dead links remaining in views: {dead_links}/{total} ({:.1}%)",
+        100.0 * dead_links as f64 / total as f64
+    );
+    assert_eq!(comp, alive, "overlay stays in a single component");
+    println!("\noverlay healed: every survivor remains connected ✓");
+}

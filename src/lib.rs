@@ -1,0 +1,43 @@
+//! # securecyclon — dependable peer sampling
+//!
+//! A comprehensive Rust reproduction of **"SecureCyclon: Dependable Peer
+//! Sampling"** (A. Antonov and S. Voulgaris, IEEE ICDCS 2023). SecureCyclon
+//! hardens the Cyclon gossip-based peer-sampling protocol against Byzantine
+//! participants by turning node descriptors into unforgeable, unclonable
+//! tokens with signed chains of ownership: any attempt to over-represent
+//! malicious nodes produces *indisputable, transferable proof* of the
+//! violation, and the culprit is permanently evicted by every correct node.
+//!
+//! This crate re-exports the workspace:
+//!
+//! * [`crypto`] — SHA-256, keypairs, signatures (from scratch).
+//! * [`sim`] — a deterministic cycle-driven P2P simulation engine.
+//! * [`cyclon`] — the legacy Cyclon baseline.
+//! * [`core`] — the SecureCyclon protocol itself.
+//! * [`attacks`] — the paper's adversary suite and mixed-network builders.
+//! * [`metrics`] — histograms, time series, and figure emission.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use securecyclon::attacks::{build_secure_network, SecureAttack, SecureNetParams};
+//!
+//! // A 200-node overlay, all honest, bootstrapped and converged.
+//! let mut net = build_secure_network(SecureNetParams::new(200, 0, SecureAttack::None));
+//! net.engine.run_cycles(30);
+//!
+//! // Every node now holds a random sample of live peers.
+//! let (_, node) = net.engine.nodes().next().unwrap();
+//! let view = node.honest().unwrap().view();
+//! assert!(view.len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sc_attacks as attacks;
+pub use sc_core as core;
+pub use sc_crypto as crypto;
+pub use sc_cyclon as cyclon;
+pub use sc_metrics as metrics;
+pub use sc_sim as sim;

@@ -1,0 +1,288 @@
+//! Property-based tests over the core invariants of the system:
+//! chain-of-ownership algebra, violation detection soundness and
+//! completeness, wire-codec round trips, and signature behavior.
+
+use proptest::prelude::*;
+use securecyclon::core::{
+    compare_chains, wire, ChainRelation, LinkKind, Observation, SampleCache, SecureDescriptor,
+    Timestamp, ViolationProof,
+};
+use securecyclon::crypto::{sha256, Keypair, Scheme, Sha256};
+
+const PERIOD: u64 = 1000;
+
+fn kp(tag: u8) -> Keypair {
+    Keypair::from_seed(Scheme::KeyedHash, [tag.wrapping_add(1); 32])
+}
+
+/// Builds a descriptor and walks it through `path` (indices into a fixed
+/// keypair pool), returning every intermediate snapshot.
+fn chain_snapshots(creator_tag: u8, ts: u64, path: &[u8]) -> Vec<SecureDescriptor> {
+    let creator = kp(creator_tag);
+    let mut cur = SecureDescriptor::create(&creator, creator_tag as u32, Timestamp(ts));
+    let mut owner = creator;
+    let mut out = vec![cur.clone()];
+    for &next_tag in path {
+        let next = kp(next_tag);
+        if next.public() == owner.public() {
+            continue; // transfer to current owner is illegal; skip
+        }
+        cur = cur.transfer(&owner, next.public()).expect("legal transfer");
+        owner = next;
+        out.push(cur.clone());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // Chain algebra
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn legal_chains_always_verify(path in proptest::collection::vec(0u8..20, 0..12)) {
+        let snaps = chain_snapshots(0, 5000, &path);
+        for d in &snaps {
+            prop_assert!(d.verify().is_ok());
+        }
+        let last = snaps.last().unwrap();
+        prop_assert_eq!(last.owners().count(), last.chain().len() + 1);
+    }
+
+    #[test]
+    fn snapshots_of_one_history_are_always_compatible(
+        path in proptest::collection::vec(0u8..20, 0..12),
+        i in 0usize..12,
+        j in 0usize..12,
+    ) {
+        let snaps = chain_snapshots(0, 5000, &path);
+        let a = &snaps[i.min(snaps.len() - 1)];
+        let b = &snaps[j.min(snaps.len() - 1)];
+        let rel = compare_chains(a, b).expect("same descriptor");
+        let expected = match a.chain().len().cmp(&b.chain().len()) {
+            std::cmp::Ordering::Equal => ChainRelation::Identical,
+            std::cmp::Ordering::Greater => ChainRelation::LeftExtendsRight,
+            std::cmp::Ordering::Less => ChainRelation::RightExtendsLeft,
+        };
+        prop_assert_eq!(rel, expected, "prefix snapshots never conflict");
+    }
+
+    #[test]
+    fn double_spend_always_yields_a_proof_against_the_forker(
+        prefix in proptest::collection::vec(0u8..20, 0..8),
+        left in 0u8..20,
+        right in 0u8..20,
+    ) {
+        let snaps = chain_snapshots(0, 5000, &prefix);
+        let base = snaps.last().unwrap();
+        let owner_tag_pool: Vec<u8> = (0..20).collect();
+        // Find the actual current owner's keypair by searching the pool.
+        let owner = owner_tag_pool
+            .iter()
+            .map(|&t| kp(t))
+            .find(|k| k.public() == base.owner())
+            .expect("owner is from the pool");
+        let to_left = kp(left);
+        let to_right = kp(right);
+        prop_assume!(to_left.public() != to_right.public());
+        prop_assume!(to_left.public() != base.owner() && to_right.public() != base.owner());
+
+        let a = base.transfer(&owner, to_left.public()).unwrap();
+        let b = base.transfer(&owner, to_right.public()).unwrap();
+        match compare_chains(&a, &b).unwrap() {
+            ChainRelation::Divergent { signer, ns_exception, .. } => {
+                prop_assert_eq!(signer, base.owner(), "fork signer is the culprit");
+                prop_assert!(!ns_exception);
+            }
+            other => prop_assert!(false, "expected divergence, got {other:?}"),
+        }
+        let proof = ViolationProof::cloning(a, b).expect("proof construction");
+        prop_assert_eq!(proof.culprit(), base.owner());
+        prop_assert_eq!(proof.validate(PERIOD).unwrap(), base.owner());
+    }
+
+    // ------------------------------------------------------------------
+    // Sample-cache soundness (no false accusations) and completeness
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn honest_histories_never_trigger_violations(
+        paths in proptest::collection::vec(
+            (0u8..6, proptest::collection::vec(0u8..20, 0..8)),
+            1..6
+        ),
+        order_seed in 0u64..1000,
+    ) {
+        // Several independent descriptors (distinct creators or distinct
+        // timestamps a full period apart), all snapshots observed in a
+        // scrambled order: a correct node must never "discover" anything.
+        let mut cache = SampleCache::new(1000);
+        let mut all = Vec::new();
+        for (k, (creator, path)) in paths.iter().enumerate() {
+            let ts = 5000 + (k as u64) * PERIOD; // frequency-legal spacing
+            all.extend(chain_snapshots(*creator, ts, path));
+        }
+        // Deterministic scramble.
+        let mut idx: Vec<usize> = (0..all.len()).collect();
+        idx.sort_by_key(|&i| (i as u64).wrapping_mul(order_seed | 1) % 7919);
+        for i in idx {
+            let obs = cache.observe(&all[i], 0, PERIOD);
+            prop_assert!(
+                !matches!(obs, Observation::Violation(_)),
+                "false accusation on honest history"
+            );
+        }
+    }
+
+    #[test]
+    fn observed_double_spends_are_always_caught(
+        prefix in proptest::collection::vec(0u8..20, 0..6),
+        noise in proptest::collection::vec(0u8..20, 0..4),
+    ) {
+        let snaps = chain_snapshots(0, 5000, &prefix);
+        let base = snaps.last().unwrap();
+        let owner = (0u8..20)
+            .map(kp)
+            .find(|k| k.public() == base.owner())
+            .unwrap();
+        let fork_a = kp(40);
+        let fork_b = kp(41);
+        let a = base.transfer(&owner, fork_a.public()).unwrap();
+        let b = base.transfer(&owner, fork_b.public()).unwrap();
+        // Extend branch b further (noise): conflict must still be caught.
+        let mut b_ext = b.clone();
+        let mut cur_owner = fork_b;
+        for &t in &noise {
+            let next = kp(t);
+            if next.public() == b_ext.owner() { continue; }
+            b_ext = b_ext.transfer(&cur_owner, next.public()).unwrap();
+            cur_owner = next;
+        }
+        let mut cache = SampleCache::new(1000);
+        assert_eq!(cache.observe(&a, 0, PERIOD), Observation::New);
+        match cache.observe(&b_ext, 0, PERIOD) {
+            Observation::Violation(p) => {
+                prop_assert_eq!(p.culprit(), base.owner());
+            }
+            other => prop_assert!(false, "double spend missed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frequency_rule_matches_spacing(
+        t1 in 0u64..50_000,
+        dt in 0u64..3000,
+    ) {
+        let creator = kp(0);
+        let d1 = SecureDescriptor::create(&creator, 0, Timestamp(t1));
+        let d2 = SecureDescriptor::create(&creator, 0, Timestamp(t1 + dt));
+        let mut cache = SampleCache::new(1000);
+        cache.observe(&d1, 0, PERIOD);
+        let obs = cache.observe(&d2, 0, PERIOD);
+        if dt == 0 {
+            // Same timestamp + same address ⇒ the very same descriptor.
+            prop_assert_eq!(obs, Observation::AlreadyKnown);
+        } else if dt < PERIOD {
+            prop_assert!(matches!(obs, Observation::Violation(_)), "sub-period spacing");
+        } else {
+            prop_assert_eq!(obs, Observation::New, "legal spacing");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Wire codec
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn wire_roundtrip_arbitrary_chains(
+        path in proptest::collection::vec(0u8..20, 0..10),
+        redeem in proptest::option::of(prop_oneof![
+            Just(LinkKind::Redeem),
+            Just(LinkKind::RedeemNonSwappable)
+        ]),
+        addr in 0u32..100_000,
+        ts in 0u64..u32::MAX as u64,
+    ) {
+        let creator = kp(0);
+        let mut cur = SecureDescriptor::create(&creator, addr, Timestamp(ts));
+        let mut owner = creator;
+        for &t in &path {
+            let next = kp(t);
+            if next.public() == owner.public() { continue; }
+            cur = cur.transfer(&owner, next.public()).unwrap();
+            owner = next;
+        }
+        if let (Some(kind), true) = (redeem, !cur.chain().is_empty()) {
+            cur = cur.redeem(&owner, kind).unwrap();
+        }
+        let mut buf = Vec::new();
+        wire::encode_descriptor(&cur, &mut buf);
+        prop_assert_eq!(buf.len(), wire::descriptor_wire_bytes(&cur));
+        let (back, used) = wire::decode_descriptor(&buf).expect("decode");
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(&back, &cur);
+        prop_assert!(back.verify().is_ok());
+        // Paper size model is exact in the chain length.
+        prop_assert_eq!(
+            wire::paper_descriptor_bits(&cur),
+            368 + 512 * cur.chain().len()
+        );
+    }
+
+    #[test]
+    fn truncated_wire_input_never_panics(
+        path in proptest::collection::vec(0u8..20, 0..6),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let snaps = chain_snapshots(0, 5000, &path);
+        let d = snaps.last().unwrap();
+        let mut buf = Vec::new();
+        wire::encode_descriptor(d, &mut buf);
+        let cut = ((buf.len() as f64) * cut_fraction) as usize;
+        if cut < buf.len() {
+            prop_assert!(wire::decode_descriptor(&buf[..cut]).is_err());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crypto
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn signatures_verify_and_reject_tampering(
+        seed in proptest::array::uniform32(0u8..),
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+        flip in 0usize..256,
+        scheme in prop_oneof![Just(Scheme::Schnorr61), Just(Scheme::KeyedHash)],
+    ) {
+        let keypair = Keypair::from_seed(scheme, seed);
+        let sig = keypair.sign(&msg);
+        prop_assert!(keypair.public().verify(&msg, &sig));
+        if !msg.is_empty() {
+            let mut tampered = msg.clone();
+            let i = flip % tampered.len();
+            tampered[i] ^= 0x01;
+            prop_assert!(!keypair.public().verify(&tampered, &sig));
+        }
+    }
+
+    #[test]
+    fn sha256_chunking_is_irrelevant(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        splits in proptest::collection::vec(0usize..512, 0..6),
+    ) {
+        let oneshot = sha256(&data);
+        let mut hasher = Sha256::new();
+        let mut cuts: Vec<usize> = splits.iter().map(|&s| s % (data.len() + 1)).collect();
+        cuts.push(0);
+        cuts.push(data.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        for w in cuts.windows(2) {
+            hasher.update(&data[w[0]..w[1]]);
+        }
+        prop_assert_eq!(hasher.finalize(), oneshot);
+    }
+}
