@@ -368,31 +368,28 @@ impl MaliciousSecureNode {
             samples,
             proofs: Vec::new(),
         }));
-        match ctx.rpc(partner_addr, request) {
-            RpcOutcome::Reply(SecureMsg::Accept(body)) => {
-                let got_any = !body.transfers.is_empty();
-                for t in body.transfers {
-                    self.harvest_or_store(t, cycle);
-                }
-                if self.tit_for_tat && got_any {
-                    for _ in 1..self.swap_len {
-                        let Some(out) = self.next_transfer(partner_id, cycle, now) else {
-                            break;
-                        };
-                        match ctx.rpc(
-                            partner_addr,
-                            SecureMsg::Round(Box::new(RoundBody { transfer: out })),
-                        ) {
-                            RpcOutcome::Reply(SecureMsg::RoundReply(r)) => match r.transfer {
-                                Some(d) => self.harvest_or_store(d, cycle),
-                                None => break,
-                            },
-                            _ => break,
-                        }
+        if let RpcOutcome::Reply(SecureMsg::Accept(body)) = ctx.rpc(partner_addr, request) {
+            let got_any = !body.transfers.is_empty();
+            for t in body.transfers {
+                self.harvest_or_store(t, cycle);
+            }
+            if self.tit_for_tat && got_any {
+                for _ in 1..self.swap_len {
+                    let Some(out) = self.next_transfer(partner_id, cycle, now) else {
+                        break;
+                    };
+                    match ctx.rpc(
+                        partner_addr,
+                        SecureMsg::Round(Box::new(RoundBody { transfer: out })),
+                    ) {
+                        RpcOutcome::Reply(SecureMsg::RoundReply(r)) => match r.transfer {
+                            Some(d) => self.harvest_or_store(d, cycle),
+                            None => break,
+                        },
+                        _ => break,
                     }
                 }
             }
-            _ => {}
         }
     }
 
@@ -449,33 +446,30 @@ impl MaliciousSecureNode {
             samples: Vec::new(),
             proofs: Vec::new(),
         }));
-        match ctx.rpc(victim_addr, request) {
-            RpcOutcome::Reply(SecureMsg::Accept(body)) => {
-                let got_any = !body.transfers.is_empty();
-                for t in body.transfers {
-                    self.harvest_or_store(t, cycle);
-                }
-                if self.tit_for_tat && got_any {
-                    for _ in 1..self.swap_len {
-                        let clone = {
-                            let mut party = self.party.borrow_mut();
-                            party.clone_for_victim(&self.id, &victim_id, &mut self.rng)
-                        };
-                        let Some(out) = clone else { break };
-                        match ctx.rpc(
-                            victim_addr,
-                            SecureMsg::Round(Box::new(RoundBody { transfer: out })),
-                        ) {
-                            RpcOutcome::Reply(SecureMsg::RoundReply(r)) => match r.transfer {
-                                Some(d) => self.harvest_or_store(d, cycle),
-                                None => break,
-                            },
-                            _ => break,
-                        }
+        if let RpcOutcome::Reply(SecureMsg::Accept(body)) = ctx.rpc(victim_addr, request) {
+            let got_any = !body.transfers.is_empty();
+            for t in body.transfers {
+                self.harvest_or_store(t, cycle);
+            }
+            if self.tit_for_tat && got_any {
+                for _ in 1..self.swap_len {
+                    let clone = {
+                        let mut party = self.party.borrow_mut();
+                        party.clone_for_victim(&self.id, &victim_id, &mut self.rng)
+                    };
+                    let Some(out) = clone else { break };
+                    match ctx.rpc(
+                        victim_addr,
+                        SecureMsg::Round(Box::new(RoundBody { transfer: out })),
+                    ) {
+                        RpcOutcome::Reply(SecureMsg::RoundReply(r)) => match r.transfer {
+                            Some(d) => self.harvest_or_store(d, cycle),
+                            None => break,
+                        },
+                        _ => break,
                     }
                 }
             }
-            _ => {}
         }
     }
 

@@ -4,9 +4,7 @@
 use crate::malicious::{MaliciousSecureNode, SecureAttack};
 use crate::party::SecureParty;
 use rand::seq::SliceRandom;
-use sc_core::{
-    default_phase, ring_bootstrap, SecureConfig, SecureCyclonNode, SecureMsg,
-};
+use sc_core::{default_phase, ring_bootstrap, SecureConfig, SecureCyclonNode, SecureMsg};
 use sc_crypto::{Keypair, NodeId, Scheme};
 use sc_sim::{Addr, CycleCtx, Engine, NetworkModel, NodeCtx, SimConfig, SimNode};
 use std::cell::RefCell;
@@ -148,10 +146,7 @@ pub fn build_secure_network(params: SecureNetParams) -> SecureNetwork {
     indices.shuffle(&mut pick_rng);
     let malicious_set: HashSet<usize> = indices.into_iter().take(n_malicious).collect();
 
-    let party_kps: Vec<Keypair> = malicious_set
-        .iter()
-        .map(|&i| keypairs[i].clone())
-        .collect();
+    let party_kps: Vec<Keypair> = malicious_set.iter().map(|&i| keypairs[i].clone()).collect();
     let party_addrs: Vec<Addr> = malicious_set.iter().map(|&i| i as Addr).collect();
     let party = Rc::new(RefCell::new(SecureParty::new(
         party_kps,
@@ -159,7 +154,13 @@ pub fn build_secure_network(params: SecureNetParams) -> SecureNetwork {
         cfg.ticks_per_cycle,
     )));
 
-    let plan = ring_bootstrap(&keypairs, &addrs, &phases, cfg.view_len, cfg.ticks_per_cycle);
+    let plan = ring_bootstrap(
+        &keypairs,
+        &addrs,
+        &phases,
+        cfg.view_len,
+        cfg.ticks_per_cycle,
+    );
     let mut engine = Engine::new(SimConfig {
         seed,
         net,

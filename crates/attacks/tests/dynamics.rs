@@ -2,9 +2,9 @@
 //! paper makes about one attack/defense pairing, at reduced scale.
 
 use sc_attacks::{
-    blacklist_coverage, build_legacy_network, build_secure_network,
-    legacy_malicious_link_fraction, malicious_link_fraction, ns_link_fraction, proofs_generated,
-    CloneLedger, LegacyNetParams, SecureAttack, SecureNetParams,
+    blacklist_coverage, build_legacy_network, build_secure_network, legacy_malicious_link_fraction,
+    malicious_link_fraction, ns_link_fraction, proofs_generated, CloneLedger, LegacyNetParams,
+    SecureAttack, SecureNetParams,
 };
 use sc_core::{ProofKind, SecureConfig};
 use std::cell::RefCell;
@@ -73,9 +73,7 @@ fn legacy_takeover_is_faster_with_larger_swap_length() {
 // ----------------------------------------------------------------------
 
 fn small_secure_cfg() -> SecureConfig {
-    SecureConfig::default()
-        .with_view_len(8)
-        .with_swap_len(3)
+    SecureConfig::default().with_view_len(8).with_swap_len(3)
 }
 
 #[test]

@@ -18,7 +18,10 @@ fn bench_sha256(c: &mut Criterion) {
 
 fn bench_sign_verify(c: &mut Criterion) {
     let msg = vec![0x5au8; 128];
-    for (name, scheme) in [("schnorr61", Scheme::Schnorr61), ("keyed", Scheme::KeyedHash)] {
+    for (name, scheme) in [
+        ("schnorr61", Scheme::Schnorr61),
+        ("keyed", Scheme::KeyedHash),
+    ] {
         let kp = Keypair::from_seed(scheme, [7; 32]);
         let sig = kp.sign(&msg);
         c.bench_function(&format!("sign/{name}"), |b| {

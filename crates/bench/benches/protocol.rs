@@ -88,5 +88,11 @@ fn bench_wire(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_transfer, bench_verify, bench_observe, bench_wire);
+criterion_group!(
+    benches,
+    bench_transfer,
+    bench_verify,
+    bench_observe,
+    bench_wire
+);
 criterion_main!(benches);

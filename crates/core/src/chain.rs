@@ -226,7 +226,11 @@ mod tests {
         let circulating = d.transfer(&b, kp(3).public()).unwrap();
         let spent = d.redeem(&b, LinkKind::Redeem).unwrap();
         match compare_chains(&circulating, &spent).unwrap() {
-            ChainRelation::Divergent { ns_exception, signer, .. } => {
+            ChainRelation::Divergent {
+                ns_exception,
+                signer,
+                ..
+            } => {
                 assert!(!ns_exception, "double-spend via redeem is not excused");
                 assert_eq!(signer, b.public());
             }
@@ -249,9 +253,6 @@ mod tests {
         let a = kp(1);
         let d1 = SecureDescriptor::create(&a, 0, Timestamp(0));
         let d2 = SecureDescriptor::create(&a, 9, Timestamp(0));
-        assert_eq!(
-            compare_chains(&d1, &d2),
-            Err(CompareError::GenesisMismatch)
-        );
+        assert_eq!(compare_chains(&d1, &d2), Err(CompareError::GenesisMismatch));
     }
 }

@@ -384,7 +384,10 @@ mod tests {
         let circulating = owned.transfer(&b, c.public()).unwrap();
         // NS copy arrives first, then the circulating one.
         assert_eq!(cache.observe(&ns_copy, 0, PERIOD), Observation::New);
-        assert_eq!(cache.observe(&circulating, 0, PERIOD), Observation::NsException);
+        assert_eq!(
+            cache.observe(&circulating, 0, PERIOD),
+            Observation::NsException
+        );
         assert_eq!(
             cache.get(&owned.id()).unwrap().chain().last().unwrap().kind,
             LinkKind::Transfer,
@@ -393,9 +396,18 @@ mod tests {
         // Other order: circulating cached, NS observed later.
         let mut cache2 = SampleCache::new(60);
         assert_eq!(cache2.observe(&circulating, 0, PERIOD), Observation::New);
-        assert_eq!(cache2.observe(&ns_copy, 0, PERIOD), Observation::NsException);
         assert_eq!(
-            cache2.get(&owned.id()).unwrap().chain().last().unwrap().kind,
+            cache2.observe(&ns_copy, 0, PERIOD),
+            Observation::NsException
+        );
+        assert_eq!(
+            cache2
+                .get(&owned.id())
+                .unwrap()
+                .chain()
+                .last()
+                .unwrap()
+                .kind,
             LinkKind::Transfer
         );
     }

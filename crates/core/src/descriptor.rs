@@ -266,7 +266,10 @@ impl SecureDescriptor {
     /// a freshly created descriptor. For a redeemed descriptor this is the
     /// creator (redemption hands the token back).
     pub fn owner(&self) -> NodeId {
-        self.chain.last().map(|l| l.to).unwrap_or(self.genesis.creator)
+        self.chain
+            .last()
+            .map(|l| l.to)
+            .unwrap_or(self.genesis.creator)
     }
 
     /// The owner who performed the redemption (the signer of the terminal
@@ -370,7 +373,11 @@ impl SecureDescriptor {
     ///
     /// Returns the first failure encountered, in chain order.
     pub fn verify(&self) -> Result<(), DescriptorError> {
-        let msg = genesis_message(&self.genesis.creator, self.genesis.addr, self.genesis.created_at);
+        let msg = genesis_message(
+            &self.genesis.creator,
+            self.genesis.addr,
+            self.genesis.created_at,
+        );
         if !self.genesis.creator.verify(&msg, &self.genesis.sig) {
             return Err(DescriptorError::BadGenesisSignature);
         }
@@ -428,10 +435,7 @@ mod tests {
         let desc = desc.transfer(&c, d.public()).unwrap();
         desc.verify().expect("full chain verifies");
         let owners: Vec<NodeId> = desc.owners().collect();
-        assert_eq!(
-            owners,
-            vec![a.public(), b.public(), c.public(), d.public()]
-        );
+        assert_eq!(owners, vec![a.public(), b.public(), c.public(), d.public()]);
         assert_eq!(desc.owner(), d.public());
         assert_eq!(desc.transfer_count(), 3);
     }
@@ -483,7 +487,10 @@ mod tests {
         let a = kp(1);
         let mut d = SecureDescriptor::create(&a, 0, Timestamp(0));
         d.genesis.addr = 99;
-        assert_eq!(d.verify().unwrap_err(), DescriptorError::BadGenesisSignature);
+        assert_eq!(
+            d.verify().unwrap_err(),
+            DescriptorError::BadGenesisSignature
+        );
     }
 
     #[test]
@@ -553,7 +560,10 @@ mod tests {
             kind: LinkKind::Transfer,
             sig: a.sign(&msg),
         });
-        assert_eq!(bad.verify().unwrap_err(), DescriptorError::RedemptionNotTerminal);
+        assert_eq!(
+            bad.verify().unwrap_err(),
+            DescriptorError::RedemptionNotTerminal
+        );
     }
 
     #[test]
@@ -571,7 +581,10 @@ mod tests {
             kind: LinkKind::Redeem,
             sig: b.sign(&msg),
         });
-        assert_eq!(bad.verify().unwrap_err(), DescriptorError::RedemptionNotToCreator);
+        assert_eq!(
+            bad.verify().unwrap_err(),
+            DescriptorError::RedemptionNotToCreator
+        );
     }
 
     #[test]

@@ -170,9 +170,18 @@ impl SecureCyclonNode {
     /// # Panics
     ///
     /// Panics if the configuration is invalid or `phase` out of range.
-    pub fn new(keypair: Keypair, addr: Addr, cfg: SecureConfig, rng_seed: [u8; 32], phase: u64) -> Self {
+    pub fn new(
+        keypair: Keypair,
+        addr: Addr,
+        cfg: SecureConfig,
+        rng_seed: [u8; 32],
+        phase: u64,
+    ) -> Self {
         let cfg = cfg.validated();
-        assert!(phase < cfg.ticks_per_cycle, "phase must be < ticks_per_cycle");
+        assert!(
+            phase < cfg.ticks_per_cycle,
+            "phase must be < ticks_per_cycle"
+        );
         let id = keypair.public();
         SecureCyclonNode {
             keypair,
@@ -420,10 +429,7 @@ impl SecureCyclonNode {
 
     fn check_only(&mut self, desc: &SecureDescriptor, cycle: u64) -> bool {
         self.stats.samples_processed += 1;
-        match self
-            .samples
-            .observe(desc, cycle, self.cfg.ticks_per_cycle)
-        {
+        match self.samples.observe(desc, cycle, self.cfg.ticks_per_cycle) {
             Observation::Violation(proof) => {
                 self.discover_violation(*proof, cycle);
                 false
@@ -499,7 +505,6 @@ impl SecureCyclonNode {
         }
         self.transfer_history.push_back(pre);
     }
-
 
     /// Fills empty view slots: first with fully owned descriptors parked
     /// in the reserve (swappable), then — at most once per cycle — with a
@@ -582,7 +587,13 @@ impl SecureCyclonNode {
     // Passive side
     // ------------------------------------------------------------------
 
-    fn handle_request(&mut self, from: Addr, body: RequestBody, cycle: u64, now: u64) -> Option<SecureMsg> {
+    fn handle_request(
+        &mut self,
+        from: Addr,
+        body: RequestBody,
+        cycle: u64,
+        now: u64,
+    ) -> Option<SecureMsg> {
         let RequestBody {
             redeemed,
             fresh,
@@ -681,9 +692,11 @@ impl SecureCyclonNode {
         // -- select outgoing transfers ----------------------------------
         let quota = self.exchange_quota(kind);
         let immediate = if self.cfg.tit_for_tat { 1 } else { quota };
-        let picked = self.view.remove_random_swappable_filtered(immediate, &mut self.rng, |d| {
-            d.creator() != redeemer
-        });
+        let picked = self
+            .view
+            .remove_random_swappable_filtered(immediate, &mut self.rng, |d| {
+                d.creator() != redeemer
+            });
         let mut transfers = Vec::with_capacity(picked.len());
         for pre in picked {
             if let Ok(t) = pre.clone().transfer(&self.keypair, redeemer) {
@@ -876,9 +889,7 @@ impl SecureCyclonNode {
         for _round in 1..quota {
             let Some(pre) = self
                 .view
-                .remove_random_swappable_filtered(1, &mut self.rng, |d| {
-                    d.creator() != partner_id
-                })
+                .remove_random_swappable_filtered(1, &mut self.rng, |d| d.creator() != partner_id)
                 .into_iter()
                 .next()
             else {

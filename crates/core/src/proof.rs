@@ -74,10 +74,7 @@ impl ViolationProof {
     /// Fails if the pair does not actually prove a cloning violation
     /// (wrong ids, compatible chains, bad signatures, or the sanctioned
     /// non-swappable exception).
-    pub fn cloning(
-        left: SecureDescriptor,
-        right: SecureDescriptor,
-    ) -> Result<Self, ProofError> {
+    pub fn cloning(left: SecureDescriptor, right: SecureDescriptor) -> Result<Self, ProofError> {
         let culprit = validate_cloning(&left, &right)?;
         Ok(ViolationProof {
             kind: ProofKind::Cloning,

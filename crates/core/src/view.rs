@@ -165,8 +165,10 @@ impl SecureView {
             .map(|(i, _)| i)
             .collect();
         let k = k.min(swappable.len());
-        swappable.partial_shuffle(rng, k);
-        let mut picked: Vec<usize> = swappable[..k].to_vec();
+        // Use the returned slice rather than assuming where the chosen
+        // elements land; rand places them at the end, not the front.
+        let (chosen, _) = swappable.partial_shuffle(rng, k);
+        let mut picked: Vec<usize> = chosen.to_vec();
         // Remove from the back so earlier indices stay valid.
         picked.sort_unstable_by(|a, b| b.cmp(a));
         picked

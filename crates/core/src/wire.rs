@@ -156,7 +156,11 @@ pub fn decode_descriptor(buf: &[u8]) -> Result<(SecureDescriptor, usize), WireEr
         let to = r.key()?;
         let kind = kind_from_tag(r.u8()?)?;
         let lsig = r.sig()?;
-        chain.push(ChainLink { to, kind, sig: lsig });
+        chain.push(ChainLink {
+            to,
+            kind,
+            sig: lsig,
+        });
     }
     let genesis = Genesis {
         creator,
@@ -306,7 +310,10 @@ mod tests {
         let mut buf = Vec::new();
         encode_descriptor(&d, &mut buf);
         buf[0] = 0xff; // creator key scheme tag
-        assert_eq!(decode_descriptor(&buf).unwrap_err(), WireError::BadPublicKey);
+        assert_eq!(
+            decode_descriptor(&buf).unwrap_err(),
+            WireError::BadPublicKey
+        );
     }
 
     #[test]
@@ -341,9 +348,7 @@ mod tests {
         }));
         assert_eq!(message_wire_bytes(&msg), descriptor_wire_bytes(&d));
         assert_eq!(message_paper_bytes(&msg), paper_descriptor_bytes(&d));
-        let empty = SecureMsg::RoundReply(Box::new(crate::msg::RoundReplyBody {
-            transfer: None,
-        }));
+        let empty = SecureMsg::RoundReply(Box::new(crate::msg::RoundReplyBody { transfer: None }));
         assert_eq!(message_wire_bytes(&empty), 0);
     }
 }
@@ -622,7 +627,9 @@ mod message_tests {
             proofs: vec![],
         }));
         assert_equivalent(&accept, &roundtrip(&accept));
-        let round = SecureMsg::Round(Box::new(RoundBody { transfer: d.clone() }));
+        let round = SecureMsg::Round(Box::new(RoundBody {
+            transfer: d.clone(),
+        }));
         assert_equivalent(&round, &roundtrip(&round));
         let reply_some = SecureMsg::RoundReply(Box::new(RoundReplyBody { transfer: Some(d) }));
         assert_equivalent(&reply_some, &roundtrip(&reply_some));
@@ -640,7 +647,10 @@ mod message_tests {
         let mut buf = vec![MSG_PROOF, 1];
         encode_descriptor(&d1, &mut buf);
         encode_descriptor(&d2, &mut buf);
-        assert_eq!(decode_message(&buf, PERIOD).unwrap_err(), WireError::BadProof);
+        assert_eq!(
+            decode_message(&buf, PERIOD).unwrap_err(),
+            WireError::BadProof
+        );
         // Unknown proof kind tag.
         let mut buf = vec![MSG_PROOF, 9];
         encode_descriptor(&d1, &mut buf);

@@ -17,9 +17,7 @@ fn kp(tag: u8) -> Keypair {
 }
 
 fn cfg() -> SecureConfig {
-    SecureConfig::default()
-        .with_view_len(8)
-        .with_swap_len(3)
+    SecureConfig::default().with_view_len(8).with_swap_len(3)
 }
 
 /// A creator node ("Carol") plus helpers to craft exchanges against it.
@@ -184,11 +182,17 @@ fn regular_plus_ns_redemption_both_accepted() {
     let at_dave = at_bob.transfer(&bob, dave.public()).unwrap();
 
     let reply = h.deliver(3, h.request(&dave, &at_dave, LinkKind::Redeem));
-    assert!(accepted(&reply), "final owner's regular redemption accepted");
+    assert!(
+        accepted(&reply),
+        "final owner's regular redemption accepted"
+    );
 
     h.next_cycle();
     let reply = h.deliver(2, h.request(&bob, &at_bob, LinkKind::RedeemNonSwappable));
-    assert!(accepted(&reply), "past owner's single NS redemption accepted");
+    assert!(
+        accepted(&reply),
+        "past owner's single NS redemption accepted"
+    );
 }
 
 #[test]
@@ -206,7 +210,10 @@ fn ns_rule_1_one_ns_redemption_per_descriptor() {
 
     h.next_cycle();
     let reply = h.deliver(3, h.request(&b2, &at_b2, LinkKind::RedeemNonSwappable));
-    assert!(reply.is_none(), "second NS redemption of the same id refused");
+    assert!(
+        reply.is_none(),
+        "second NS redemption of the same id refused"
+    );
 }
 
 #[test]
@@ -219,10 +226,9 @@ fn ns_rule_2_one_ns_redemption_per_cycle() {
     let t1 = h.carol_token(&b1, 1000);
     let t2 = h.carol_token(&b2, 2000);
 
-    assert!(accepted(&h.deliver(
-        2,
-        h.request(&b1, &t1, LinkKind::RedeemNonSwappable)
-    )));
+    assert!(accepted(
+        &h.deliver(2, h.request(&b1, &t1, LinkKind::RedeemNonSwappable))
+    ));
     let again = h.request(&b2, &t2, LinkKind::RedeemNonSwappable);
     assert!(
         h.deliver(3, again.clone()).is_none(),
@@ -306,7 +312,10 @@ fn stale_fresh_descriptor_is_refused() {
             proofs: vec![],
         },
     );
-    assert!(reply.is_none(), "cycle-50 exchange with a cycle-5 fresh refused");
+    assert!(
+        reply.is_none(),
+        "cycle-50 exchange with a cycle-5 fresh refused"
+    );
 }
 
 #[test]
@@ -339,9 +348,7 @@ fn round_without_session_is_ignored() {
     let bob = kp(2);
     let d = h.carol_token(&bob, 1000);
     let transfer = d; // owned by bob, handed to carol? craft a transfer to carol
-    let to_carol = transfer
-        .transfer(&bob, h.carol_kp.public())
-        .unwrap();
+    let to_carol = transfer.transfer(&bob, h.carol_kp.public()).unwrap();
     let carol = &mut h.carol;
     let (reply, _) = with_node_ctx(50, TPC, 1, |ctx: &mut NodeCtx<'_, SecureMsg>| {
         carol.on_rpc(

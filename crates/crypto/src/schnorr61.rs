@@ -73,7 +73,10 @@ impl SchnorrKey {
     pub fn from_seed(seed: &[u8; 32]) -> Self {
         let h = sha256_concat(&[b"sc/schnorr-keygen", seed]);
         let x = 1 + reduce16(&h, P_MINUS_1 - 1);
-        SchnorrKey { x, pk: powmod(G, x) }
+        SchnorrKey {
+            x,
+            pk: powmod(G, x),
+        }
     }
 
     /// Signs `msg`, returning the `(r, s)` pair.

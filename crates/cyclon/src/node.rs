@@ -156,7 +156,9 @@ impl CyclonNode {
             // Empty view: the node is isolated and cannot gossip.
             return;
         };
-        let removed = self.view.remove_random(self.cfg.swap_len - 1, &mut self.rng);
+        let removed = self
+            .view
+            .remove_random(self.cfg.swap_len - 1, &mut self.rng);
         let mut offered = Vec::with_capacity(removed.len() + 1);
         offered.push(self.fresh_descriptor());
         offered.extend(removed.iter().copied());
@@ -243,7 +245,12 @@ mod tests {
         let mut eng = Engine::new(SimConfig::seeded(seed));
         for i in 0..n {
             let id = ids[i];
-            let mut node = CyclonNode::new(id, i as Addr, cfg, sc_sim::rng::derive_seed(seed, "node", i as u64));
+            let mut node = CyclonNode::new(
+                id,
+                i as Addr,
+                cfg,
+                sc_sim::rng::derive_seed(seed, "node", i as u64),
+            );
             // Ring bootstrap: a few successors.
             let boots: Vec<(NodeId, Addr)> = (1..=3)
                 .map(|k| {
@@ -360,11 +367,8 @@ mod tests {
         let ratio = dead_links as f64 / total as f64;
         assert!(ratio < 0.05, "dead link ratio {ratio}");
         // And views should be full again (healing, not shrinking).
-        let avg: f64 = eng
-            .nodes()
-            .map(|(_, n)| n.view().len() as f64)
-            .sum::<f64>()
-            / eng.alive_count() as f64;
+        let avg: f64 =
+            eng.nodes().map(|(_, n)| n.view().len() as f64).sum::<f64>() / eng.alive_count() as f64;
         assert!(avg > cfg.view_len as f64 * 0.9, "avg view {avg}");
     }
 

@@ -93,8 +93,14 @@ impl View {
     }
 
     /// Removes and returns up to `k` uniformly random descriptors.
-    pub fn remove_random<R: Rng + ?Sized>(&mut self, k: usize, rng: &mut R) -> Vec<LegacyDescriptor> {
+    pub fn remove_random<R: Rng + ?Sized>(
+        &mut self,
+        k: usize,
+        rng: &mut R,
+    ) -> Vec<LegacyDescriptor> {
         let k = k.min(self.entries.len());
+        // rand's partial_shuffle moves the k chosen elements to the END of
+        // the slice; split_off takes exactly that section.
         self.entries.partial_shuffle(rng, k);
         let split = self.entries.len() - k;
         self.entries.split_off(split)

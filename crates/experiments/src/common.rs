@@ -84,11 +84,20 @@ pub fn run_secure(run: SecureRun, label: &str) -> SecureRunSeries {
     for _ in 0..cycles {
         net.engine.run_cycle();
         let c = net.engine.cycle();
-        if c % record_every == 0 {
-            malicious_frac.push(c, 100.0 * malicious_link_fraction(&net.engine, &net.malicious_ids));
+        if c.is_multiple_of(record_every) {
+            malicious_frac.push(
+                c,
+                100.0 * malicious_link_fraction(&net.engine, &net.malicious_ids),
+            );
             ns_frac.push(c, 100.0 * ns_link_fraction(&net.engine));
-            coverage.push(c, 100.0 * blacklist_coverage(&net.engine, &net.malicious_ids));
-            eclipsed.push(c, 100.0 * eclipsed_fraction(&net.engine, &net.malicious_ids));
+            coverage.push(
+                c,
+                100.0 * blacklist_coverage(&net.engine, &net.malicious_ids),
+            );
+            eclipsed.push(
+                c,
+                100.0 * eclipsed_fraction(&net.engine, &net.malicious_ids),
+            );
         }
     }
     SecureRunSeries {

@@ -92,6 +92,8 @@ pub fn run(scale: Scale) {
             100.0 * hist.fraction_within((view_len / 2) as u64, (view_len * 3 / 2) as u64),
             path.display()
         );
-        println!("  paper shape: indegree tightly bounded around the outdegree ℓ, no starved nodes");
+        println!(
+            "  paper shape: indegree tightly bounded around the outdegree ℓ, no starved nodes"
+        );
     }
 }

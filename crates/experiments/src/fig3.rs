@@ -53,9 +53,7 @@ pub fn run(scale: Scale) {
         ],
     };
     for (n, view_len, n_malicious, cycles, file) in configs {
-        println!(
-            "nodes:{n}, view:{view_len}, malicious nodes:{n_malicious}, attack at cycle 50"
-        );
+        println!("nodes:{n}, view:{view_len}, malicious nodes:{n_malicious}, attack at cycle 50");
         let mut all = Vec::new();
         for swap_len in [3usize, 5, 8, 10] {
             let s = takeover_series(n, n_malicious, view_len, swap_len, 50, cycles, 42);

@@ -46,14 +46,7 @@ pub fn defense_series(
     (out.malicious_frac, out.eclipsed)
 }
 
-fn run_panel(
-    title: &str,
-    n: usize,
-    n_malicious: usize,
-    view_len: usize,
-    cycles: u64,
-    file: &str,
-) {
+fn run_panel(title: &str, n: usize, n_malicious: usize, view_len: usize, cycles: u64, file: &str) {
     println!("{title}: nodes:{n}, view:{view_len}, malicious nodes:{n_malicious}");
     let mut mal_series = Vec::new();
     for swap_len in [3usize, 5, 8, 10] {

@@ -188,7 +188,10 @@ impl<N: SimNode> Engine<N> {
 
     /// Number of alive nodes.
     pub fn alive_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.alive && s.node.is_some()).count()
+        self.slots
+            .iter()
+            .filter(|s| s.alive && s.node.is_some())
+            .count()
     }
 
     /// Total number of addresses ever allocated (alive or dead).
@@ -487,7 +490,8 @@ mod tests {
 
         fn on_cycle(&mut self, ctx: &mut CycleCtx<'_, Self>) {
             let target = (self.addr + 1) % self.n;
-            if let RpcOutcome::Reply(ToyMsg::Pong(_)) = ctx.rpc(target, ToyMsg::Ping) {
+            if let RpcOutcome::Reply(ToyMsg::Pong(answered)) = ctx.rpc(target, ToyMsg::Ping) {
+                assert!(answered >= 1, "responder counts its own answer first");
                 self.replies_got += 1;
             }
         }

@@ -17,14 +17,23 @@ fn main() {
 
     println!("Figure 4: a descriptor's chain of ownership\n");
     let desc = SecureDescriptor::create(&a, 42, Timestamp(9_000));
-    println!("A mints:        creator={} addr=42 t={}", a.public(), desc.created_at());
+    println!(
+        "A mints:        creator={} addr=42 t={}",
+        a.public(),
+        desc.created_at()
+    );
 
     let desc = desc.transfer(&a, b.public()).expect("A owns it");
     let desc = desc.transfer(&b, c.public()).expect("B owns it");
     let desc = desc.transfer(&c, d.public()).expect("C owns it");
     println!("after A→B→C→D:  owner={}", desc.owner());
     for (i, link) in desc.chain().iter().enumerate() {
-        println!("  link {i}: signed by {}, hands to {} ({:?})", desc.owner_at(i), link.to, link.kind);
+        println!(
+            "  link {i}: signed by {}, hands to {} ({:?})",
+            desc.owner_at(i),
+            link.to,
+            link.kind
+        );
     }
     desc.verify().expect("every signature checks out");
     println!("full chain verifies ✓\n");
@@ -60,6 +69,8 @@ fn main() {
     // The proof is transferable: any third party can validate it from
     // scratch, with no trust in the accuser.
     let period_ticks = 1000;
-    let culprit = proof.validate(period_ticks).expect("third-party validation");
+    let culprit = proof
+        .validate(period_ticks)
+        .expect("third-party validation");
     println!("third-party validation confirms the culprit: {culprit} ✓");
 }

@@ -46,7 +46,10 @@ fn secure_run() -> TimeSeries {
     let mut series = TimeSeries::new("SecureCyclon");
     for c in 0..CYCLES {
         net.engine.run_cycle();
-        series.push(c, 100.0 * malicious_link_fraction(&net.engine, &net.malicious_ids));
+        series.push(
+            c,
+            100.0 * malicious_link_fraction(&net.engine, &net.malicious_ids),
+        );
     }
     series
 }

@@ -15,14 +15,20 @@ fn main() {
     params.seed = 1;
     let mut net = build_secure_network(params);
 
-    println!("running 100 gossip cycles over {} nodes…", net.engine.alive_count());
+    println!(
+        "running 100 gossip cycles over {} nodes…",
+        net.engine.alive_count()
+    );
     net.engine.run_cycles(100);
 
     // 1. Peer sampling: each node's view is a continuously refreshed
     //    random sample of the live network.
     let (addr, node) = net.engine.nodes().next().expect("network is non-empty");
     let node = node.honest().expect("all nodes honest");
-    println!("\nnode @{addr} currently samples {} peers:", node.view().len());
+    println!(
+        "\nnode @{addr} currently samples {} peers:",
+        node.view().len()
+    );
     for entry in node.view().iter().take(5) {
         println!(
             "  → {} @addr {} (descriptor minted at {}, {} transfers)",

@@ -1,0 +1,73 @@
+//! Determinism regression: `sim::Engine` promises bit-identical runs per
+//! seed. Two networks built from identical parameters must agree on every
+//! traffic counter and every node's view after the same number of cycles —
+//! this is the baseline that future performance PRs regress against.
+
+use securecyclon::attacks::{build_secure_network, SecureAttack, SecureNetParams, SecureNetwork};
+use securecyclon::core::ViewEntry;
+use securecyclon::sim::TrafficStats;
+
+fn params(seed: u64) -> SecureNetParams {
+    let mut p = SecureNetParams::new(150, 10, SecureAttack::Hub);
+    p.attack_start = 15;
+    p.seed = seed;
+    p
+}
+
+/// Per-node view contents: rendered descriptor + swappability, slot order.
+type ViewSnapshot = Vec<(u32, Vec<(String, bool)>)>;
+
+/// Everything observable about a run: engine counters plus every view.
+fn snapshot(net: &SecureNetwork) -> (TrafficStats, ViewSnapshot) {
+    let mut views = Vec::new();
+    for (addr, node) in net.engine.nodes() {
+        let entries: Vec<(String, bool)> = match node.honest() {
+            Some(honest) => honest
+                .view()
+                .iter()
+                .map(|e: &ViewEntry| (format!("{:?}", e.desc), e.non_swappable))
+                .collect(),
+            None => Vec::new(),
+        };
+        views.push((addr, entries));
+    }
+    (*net.engine.stats(), views)
+}
+
+fn run(seed: u64, cycles: u64) -> (TrafficStats, ViewSnapshot) {
+    let mut net = build_secure_network(params(seed));
+    net.engine.run_cycles(cycles);
+    snapshot(&net)
+}
+
+#[test]
+fn same_seed_same_universe() {
+    let a = run(7, 40);
+    let b = run(7, 40);
+    assert_eq!(a.0, b.0, "traffic stats must be bit-identical per seed");
+    assert_eq!(a.1, b.1, "every node's view must be bit-identical per seed");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    // Sanity check that the test above has teeth: a different seed must
+    // produce an observably different universe (views are packed with
+    // random peers; collision across all 150 nodes is impossible in
+    // practice).
+    let a = run(7, 40);
+    let c = run(8, 40);
+    assert_ne!(a.1, c.1, "distinct seeds should yield distinct views");
+}
+
+#[test]
+fn determinism_survives_interleaved_construction() {
+    // Building both networks before running either catches accidental
+    // global state (thread-local RNGs, statics) shared between engines.
+    let mut n1 = build_secure_network(params(21));
+    let mut n2 = build_secure_network(params(21));
+    for _ in 0..25 {
+        n1.engine.run_cycle();
+        n2.engine.run_cycle();
+    }
+    assert_eq!(snapshot(&n1), snapshot(&n2));
+}

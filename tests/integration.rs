@@ -128,7 +128,9 @@ fn late_joiner_is_sponsored_and_learns_the_blacklist() {
         .count();
     assert_eq!(known, net.malicious_ids.len(), "joiner knows every culprit");
 
-    let addr = net.engine.spawn_with(|_| SecureNet::Honest(Box::new(joiner)));
+    let addr = net
+        .engine
+        .spawn_with(|_| SecureNet::Honest(Box::new(joiner)));
     net.engine.run_cycles(30);
     let j = net.engine.node(addr).unwrap().honest().unwrap();
     assert!(

@@ -286,3 +286,145 @@ proptest! {
         prop_assert_eq!(hasher.finalize(), oneshot);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Satellite coverage: chain compatibility algebra & SHA-256 round trips
+// ---------------------------------------------------------------------------
+
+use securecyclon::core::CompareError;
+use securecyclon::crypto::hex;
+
+/// NIST FIPS 180-2 test vectors (plus the empty string).
+#[test]
+fn sha256_known_vectors() {
+    let vectors: [(&[u8], &str); 3] = [
+        (
+            b"",
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        ),
+        (
+            b"abc",
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+        ),
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+    ];
+    for (input, expected) in vectors {
+        assert_eq!(hex::to_hex(&sha256(input)), expected);
+    }
+    // The classic million-'a' vector, fed through the incremental API.
+    let mut hasher = Sha256::new();
+    for _ in 0..1000 {
+        hasher.update(&[b'a'; 1000]);
+    }
+    assert_eq!(
+        hex::to_hex(&hasher.finalize()),
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // Chain algebra: symmetry and single-step structure
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn compare_chains_mirrors_under_argument_swap(
+        path in proptest::collection::vec(0u8..20, 0..10),
+        i in 0usize..10,
+        j in 0usize..10,
+    ) {
+        let snaps = chain_snapshots(3, 7000, &path);
+        let a = &snaps[i.min(snaps.len() - 1)];
+        let b = &snaps[j.min(snaps.len() - 1)];
+        let ab = compare_chains(a, b).expect("same descriptor");
+        let ba = compare_chains(b, a).expect("same descriptor");
+        let mirrored = match ab {
+            ChainRelation::LeftExtendsRight => ChainRelation::RightExtendsLeft,
+            ChainRelation::RightExtendsLeft => ChainRelation::LeftExtendsRight,
+            other => other,
+        };
+        prop_assert_eq!(ba, mirrored);
+    }
+
+    #[test]
+    fn forks_diverge_symmetrically_with_the_same_culprit(
+        prefix in proptest::collection::vec(0u8..20, 0..8),
+        left in 20u8..30,
+        right in 30u8..40,
+    ) {
+        // Forking tags are drawn from pools disjoint from the prefix pool
+        // (and from each other), so both transfers are always legal.
+        let snaps = chain_snapshots(0, 5000, &prefix);
+        let base = snaps.last().unwrap();
+        let owner = (0u8..20).map(kp).find(|k| k.public() == base.owner()).unwrap();
+        let a = base.transfer(&owner, kp(left).public()).unwrap();
+        let b = base.transfer(&owner, kp(right).public()).unwrap();
+        let ab = compare_chains(&a, &b).unwrap();
+        let ba = compare_chains(&b, &a).unwrap();
+        prop_assert_eq!(ab, ba, "divergence is direction-independent");
+        match ab {
+            ChainRelation::Divergent { index, signer, ns_exception } => {
+                prop_assert_eq!(index, base.chain().len());
+                prop_assert_eq!(signer, base.owner());
+                prop_assert!(!ns_exception);
+            }
+            other => prop_assert!(false, "expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn each_transfer_extends_the_chain_by_exactly_one(
+        path in proptest::collection::vec(0u8..20, 1..10),
+    ) {
+        let snaps = chain_snapshots(5, 9000, &path);
+        for w in snaps.windows(2) {
+            prop_assert_eq!(w[1].chain().len(), w[0].chain().len() + 1);
+            prop_assert_eq!(
+                compare_chains(&w[0], &w[1]).unwrap(),
+                ChainRelation::RightExtendsLeft
+            );
+        }
+    }
+
+    #[test]
+    fn unrelated_descriptors_do_not_compare(
+        a_tag in 0u8..10,
+        b_tag in 10u8..20,
+        ts in 0u64..1_000_000,
+    ) {
+        // Different creators produce different descriptor ids.
+        let da = SecureDescriptor::create(&kp(a_tag), 1, Timestamp(ts));
+        let db = SecureDescriptor::create(&kp(b_tag), 2, Timestamp(ts));
+        prop_assert_eq!(compare_chains(&da, &db), Err(CompareError::DifferentIds));
+    }
+
+    // ------------------------------------------------------------------
+    // SHA-256: hex round trip, determinism, sensitivity
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn sha256_hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let digest = sha256(&data);
+        let encoded = hex::to_hex(&digest);
+        prop_assert_eq!(encoded.len(), 64);
+        let decoded = hex::from_hex(&encoded).expect("valid hex");
+        prop_assert_eq!(decoded.as_slice(), &digest[..]);
+    }
+
+    #[test]
+    fn sha256_is_deterministic_and_tamper_sensitive(
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        flip in 0usize..256,
+    ) {
+        prop_assert_eq!(sha256(&data), sha256(&data));
+        let mut tampered = data.clone();
+        let i = flip % tampered.len();
+        tampered[i] ^= 0x80;
+        prop_assert_ne!(sha256(&tampered), sha256(&data));
+    }
+}

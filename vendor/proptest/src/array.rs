@@ -1,0 +1,58 @@
+//! Fixed-size array strategies (`proptest::array::uniform32`).
+
+use crate::runner::TestRng;
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+
+/// The strategy returned by the `uniformN` constructors.
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N>
+where
+    S::Value: Debug,
+{
+    type Value = [S::Value; N];
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.element.new_value(rng))
+    }
+}
+
+/// Generates `[T; 32]` with every element drawn from `element`.
+pub fn uniform32<S: Strategy>(element: S) -> UniformArray<S, 32> {
+    UniformArray { element }
+}
+
+/// Generates `[T; 4]` with every element drawn from `element`.
+pub fn uniform4<S: Strategy>(element: S) -> UniformArray<S, 4> {
+    UniformArray { element }
+}
+
+/// Generates `[T; 8]` with every element drawn from `element`.
+pub fn uniform8<S: Strategy>(element: S) -> UniformArray<S, 8> {
+    UniformArray { element }
+}
+
+/// Generates `[T; 16]` with every element drawn from `element`.
+pub fn uniform16<S: Strategy>(element: S) -> UniformArray<S, 16> {
+    UniformArray { element }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform32_fills_all_slots() {
+        let s = uniform32(1u8..=255);
+        let mut r = TestRng::for_case("array-tests", 0);
+        let a = s.new_value(&mut r);
+        assert_eq!(a.len(), 32);
+        assert!(a.iter().all(|&b| b >= 1));
+        // 32 independent draws over 255 values collide to a constant array
+        // with negligible probability.
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,171 @@
+//! Vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the subset of the
+//! `proptest 1.x` surface used by this repository's test-suite is
+//! re-implemented here:
+//!
+//! * the [`Strategy`] trait over integer/float ranges, tuples, [`Just`],
+//!   [`collection::vec`], [`option::of`], [`array::uniform32`], and
+//!   [`any`];
+//! * the [`proptest!`] macro (with the `#![proptest_config(..)]` header),
+//!   plus [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`], and [`prop_oneof!`];
+//! * a deterministic runner: each test derives its RNG stream from the
+//!   test's name, so failures reproduce exactly on re-run.
+//!
+//! Shrinking is intentionally not implemented — on failure the runner
+//! reports the generated values verbatim.
+
+use std::fmt::Debug;
+
+pub mod array;
+pub mod collection;
+pub mod option;
+pub mod runner;
+pub mod strategy;
+
+pub use runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+pub use strategy::{any, one_of, Any, Arbitrary, Just, OneOf, Strategy};
+
+/// The conventional glob-import module.
+pub mod prelude {
+    pub use crate::runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Boxes a strategy (helper for [`prop_oneof!`]).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: Debug,
+{
+    Box::new(s)
+}
+
+/// Defines property tests. Supports an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::runner::run(&__config, stringify!($name), |__rng| {
+                let mut __vals: Vec<String> = Vec::new();
+                $(
+                    let $arg = {
+                        let __v = $crate::Strategy::new_value(&($strat), __rng);
+                        __vals.push(format!("{} = {:?}", stringify!($arg), __v));
+                        __v
+                    };
+                )+
+                let __result: $crate::TestCaseResult = (|| {
+                    $body
+                    Ok(())
+                })();
+                match __result {
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        Err($crate::TestCaseError::Fail(format!(
+                            "{msg}\n    generated values:\n        {}",
+                            __vals.join("\n        ")
+                        )))
+                    }
+                    other => other,
+                }
+            });
+        }
+    )*};
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `(left == right)`\n     left: {l:?}\n    right: {r:?}"
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::TestCaseError::Fail(format!(
+                        "{}\n  assertion failed: `(left == right)`\n     left: {l:?}\n    right: {r:?}",
+                        format!($($fmt)*)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `(left != right)`\n     both: {l:?}"
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects (skips) the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+/// Picks uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::boxed($strategy)),+])
+    };
+}

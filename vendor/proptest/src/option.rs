@@ -1,0 +1,49 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::runner::TestRng;
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+
+/// The strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+    some_probability: f64,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.chance(self.some_probability) {
+            Some(self.inner.new_value(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// Generates `None` or `Some(inner)` (3:1 in favour of `Some`, matching
+/// upstream proptest's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy {
+        inner,
+        some_probability: 0.75,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(0u8..10);
+        let mut r = TestRng::for_case("option-tests", 0);
+        let draws: Vec<Option<u8>> = (0..200).map(|_| s.new_value(&mut r)).collect();
+        assert!(draws.iter().any(|d| d.is_none()));
+        assert!(draws.iter().any(|d| d.is_some()));
+    }
+}

@@ -1,0 +1,275 @@
+//! The [`Strategy`] trait and the primitive strategies.
+
+use crate::runner::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// simply produces a fresh value from the runner's deterministic RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<V: Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span as u64) as $t)
+            }
+        }
+
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                (self.start..=<$t>::MAX).new_value(rng)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        // For narrow ranges the lerp can round up to `end`; keep the
+        // half-open contract.
+        if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + (rng.unit_f64() as f32) * (self.end - self.start);
+        if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Just / tuples / oneof
+// ---------------------------------------------------------------------------
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Uniform choice between boxed strategies (see [`crate::prop_oneof!`]).
+pub struct OneOf<V> {
+    choices: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V: Debug> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.choices.len() as u64) as usize;
+        self.choices[idx].new_value(rng)
+    }
+}
+
+/// Builds a [`OneOf`] from boxed choices; panics if `choices` is empty.
+pub fn one_of<V: Debug>(choices: Vec<Box<dyn Strategy<Value = V>>>) -> OneOf<V> {
+    assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+    OneOf { choices }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy-tests", 0)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..2000 {
+            let v = (3u8..9).new_value(&mut r);
+            assert!((3..9).contains(&v));
+            let w = (0usize..1).new_value(&mut r);
+            assert_eq!(w, 0);
+            let f = (0.0f64..1.0).new_value(&mut r);
+            assert!((0.0..1.0).contains(&f));
+            let x = (250u8..).new_value(&mut r);
+            assert!(x >= 250);
+        }
+    }
+
+    #[test]
+    fn narrow_float_range_stays_half_open() {
+        let mut r = rng();
+        let end = 1.0f64.next_up();
+        for _ in 0..256 {
+            assert_eq!((1.0..end).new_value(&mut r), 1.0);
+        }
+    }
+
+    #[test]
+    fn ranges_cover_their_domain() {
+        let mut r = rng();
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[(0u8..8).new_value(&mut r) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values should appear");
+    }
+
+    #[test]
+    fn oneof_hits_every_choice() {
+        let s = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.new_value(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let s = (0u8..4, 10u64..20);
+        let mut r = rng();
+        let (a, b) = s.new_value(&mut r);
+        assert!(a < 4 && (10..20).contains(&b));
+    }
+}

@@ -1,0 +1,261 @@
+//! Vendored, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to a crates.io
+//! registry, so the small slice of the `rand 0.8` API that the workspace
+//! actually uses is re-implemented here: [`RngCore`], [`SeedableRng`],
+//! [`Rng`] (with `gen`, `gen_range`, `gen_bool`), the seedable generators
+//! [`rngs::SmallRng`] and [`rngs::StdRng`], and [`seq::SliceRandom`].
+//!
+//! Streams are **not** bit-compatible with upstream `rand`; they are,
+//! however, fully deterministic for a given seed, which is the property the
+//! simulation engine (`sc_sim`) depends on.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::Standard;
+
+/// The core of a random number generator: uniform raw output.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type, e.g. `[u8; 32]`.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanded via SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64::new(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience extension over [`RngCore`]: typed sampling.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::<T>::sample(&Standard, self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.gen::<f64>() < p
+    }
+
+    /// Fills `dest` with random data (mirror of `RngCore::fill_bytes`).
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// SplitMix64: seed expander (also used by `seed_from_u64`).
+#[derive(Clone, Debug)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(state: u64) -> Self {
+        Self { state }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let av: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let cv: Vec<u64> = (0..8).map(|_| c.gen()).collect();
+        assert_ne!(av, cv);
+    }
+
+    #[test]
+    fn std_and_small_differ() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = SmallRng::from_seed([0u8; 32]);
+        let draws: Vec<u64> = (0..16).map(|_| r.next_u64()).collect();
+        assert!(draws.iter().any(|&x| x != 0));
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u64 = r.gen_range(0..1);
+            assert_eq!(y, 0);
+            let f: f64 = r.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn float_gen_range_is_half_open_even_when_narrow() {
+        // The only representable f64 in [1.0, next_up(1.0)) is 1.0 itself;
+        // a naive lerp rounds up to the excluded endpoint about half the
+        // time.
+        let mut r = StdRng::seed_from_u64(3);
+        let end = 1.0f64.next_up();
+        for _ in 0..256 {
+            assert_eq!(r.gen_range(1.0..end), 1.0);
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "100 elements virtually never shuffle to identity"
+        );
+    }
+
+    #[test]
+    fn partial_shuffle_splits_correctly() {
+        let mut r = SmallRng::seed_from_u64(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        let (shuffled, rest) = v.partial_shuffle(&mut r, 10);
+        assert_eq!(shuffled.len(), 10);
+        assert_eq!(rest.len(), 40);
+    }
+
+    /// Regression for upstream-compatible placement: the chosen elements
+    /// must be uniform over the whole slice and land at the END (protocol
+    /// code takes the tail via `split_off`, exactly as with real
+    /// `rand 0.8`). A front-placement or biased implementation makes
+    /// legacy Cyclon's `remove_random` re-pick the same slots nearly
+    /// every exchange.
+    #[test]
+    fn partial_shuffle_tail_selection_is_uniform() {
+        let mut rng = SmallRng::seed_from_u64(2024);
+        let mut counts = [0u32; 10];
+        const TRIALS: u32 = 10_000;
+        for _ in 0..TRIALS {
+            let mut v: Vec<usize> = (0..10).collect();
+            let (chosen, rest) = v.partial_shuffle(&mut rng, 1);
+            assert_eq!(chosen.len(), 1);
+            assert_eq!(rest.len(), 9);
+            counts[chosen[0]] += 1;
+        }
+        // Expected 1000 per slot; 3 sigma over a binomial is about ±90.
+        for (value, &n) in counts.iter().enumerate() {
+            assert!(
+                (800..1200).contains(&n),
+                "value {value} chosen {n}/{TRIALS} times; selection is biased"
+            );
+        }
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut r = SmallRng::seed_from_u64(17);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+        let one = [42u8];
+        assert_eq!(one.choose(&mut r), Some(&42));
+    }
+}

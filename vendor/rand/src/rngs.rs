@@ -1,0 +1,118 @@
+//! Seedable generators: [`SmallRng`] (xoshiro256++) and [`StdRng`]
+//! (xoshiro256**). Both take 32-byte seeds like their upstream namesakes.
+
+use crate::{RngCore, SeedableRng, SplitMix64};
+
+/// Shared 256-bit state with seed sanitisation.
+#[derive(Clone, Debug)]
+struct State256 {
+    s: [u64; 4],
+}
+
+impl State256 {
+    fn from_seed_bytes(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(b);
+        }
+        // An all-zero state is a fixed point of the xoshiro family; remix
+        // through SplitMix64 so that the zero seed still yields a usable
+        // stream (and low-entropy seeds decorrelate).
+        let mut sm = SplitMix64::new(
+            s[0] ^ s[1].rotate_left(16) ^ s[2].rotate_left(32) ^ s[3].rotate_left(48),
+        );
+        for word in s.iter_mut() {
+            *word ^= sm.next_u64();
+        }
+        if s == [0u64; 4] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0x6A09_E667_F3BC_C908,
+                0xBB67_AE85_84CA_A73B,
+                0x3C6E_F372_FE94_F82B,
+            ];
+        }
+        Self { s }
+    }
+
+    #[inline]
+    fn advance(&mut self) {
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+    }
+}
+
+/// A small, fast, non-cryptographic generator (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: State256,
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &self.state.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        self.state.advance();
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self {
+            state: State256::from_seed_bytes(seed),
+        }
+    }
+}
+
+/// The default "strong" generator (xoshiro256**; *not* cryptographically
+/// secure — this vendored stand-in is for deterministic simulation only).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: State256,
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &self.state.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        self.state.advance();
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = State256::from_seed_bytes(seed);
+        // Domain-separate from SmallRng so the same seed yields unrelated
+        // streams in the two generator types.
+        state.s[0] ^= 0x5354_4452_4E47_5F5F; // "STDRNG__"
+        if state.s == [0u64; 4] {
+            state.s[0] = 0x5354_4452_4E47_5F5F;
+        }
+        Self { state }
+    }
+}

@@ -1,0 +1,59 @@
+//! Slice sampling and shuffling ([`SliceRandom`]).
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Returns one random element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Fisher–Yates shuffles the whole slice in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Chooses `amount` elements uniformly from the slice and moves them
+    /// to its **end**, matching upstream `rand 0.8` exactly; returns
+    /// `(shuffled, rest)` where `shuffled` is that end section. Callers
+    /// must use the returned slices (or the end placement) — upstream
+    /// compatibility here is what keeps the advertised "swap back to the
+    /// real crate" a behavior-preserving change.
+    fn partial_shuffle<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [Self::Item], &mut [Self::Item]);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+
+    fn partial_shuffle<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [T], &mut [T]) {
+        let len = self.len();
+        let k = amount.min(len);
+        for i in (len - k..len).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+        let (rest, shuffled) = self.split_at_mut(len - k);
+        (shuffled, rest)
+    }
+}
