@@ -1,0 +1,213 @@
+//! `bench-report` — runs the verification-focused benchmark suite with a
+//! plain `Instant`-based harness and writes a machine-readable JSON
+//! baseline (`BENCH_<n>.json`).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p sc-bench --bin bench-report             # full run, auto-numbered file
+//! cargo run --release -p sc-bench --bin bench-report -- --quick  # CI smoke (~seconds)
+//! cargo run --release -p sc-bench --bin bench-report -- --out BENCH_2.json
+//! ```
+//!
+//! `--quick` shrinks the per-bench time budget so CI executes every
+//! measured code path without burning minutes; committed baselines should
+//! come from a full run on an idle machine.
+
+use sc_attacks::{build_secure_network, SecureAttack, SecureNetParams};
+use sc_bench::report::Report;
+use sc_bench::{chained, pool, warmed_memo, CHAIN_LENGTHS};
+use sc_core::SecureConfig;
+use sc_crypto::{schnorr61, sha256, Keypair, Scheme};
+use std::time::Duration;
+
+/// One past the highest existing `BENCH_<n>.json` index, so auto-numbered
+/// baselines stay monotonic even when earlier indices are missing.
+fn next_bench_path() -> String {
+    let mut next = 0u32;
+    if let Ok(entries) = std::fs::read_dir(".") {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let n = name
+                .to_string_lossy()
+                .strip_prefix("BENCH_")
+                .and_then(|s| s.strip_suffix(".json"))
+                .and_then(|s| s.parse::<u32>().ok());
+            if let Some(n) = n {
+                next = next.max(n + 1);
+            }
+        }
+    }
+    format!("BENCH_{next}.json")
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = Some(args.next().expect("--out requires a path")),
+            "--help" | "-h" => {
+                println!("usage: bench-report [--quick] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (budget, samples, sim_nodes, sim_budget) = if quick {
+        (Duration::from_millis(30), 5, 32, Duration::from_millis(200))
+    } else {
+        (Duration::from_millis(300), 11, 200, Duration::from_secs(3))
+    };
+
+    let mut report = Report {
+        mode: if quick { "quick" } else { "full" }.into(),
+        ..Report::default()
+    };
+
+    // -- crypto substrate ---------------------------------------------
+    let data = vec![0xabu8; 1024];
+    report.bench("sha256/1024B", budget, samples, || {
+        std::hint::black_box(sha256(std::hint::black_box(&data)));
+    });
+
+    let kp = Keypair::from_seed(Scheme::Schnorr61, [7; 32]);
+    let msg = [0x5au8; 128];
+    let sig = kp.sign(&msg);
+    let bytes = sig.as_bytes();
+    let pk = u64::from_be_bytes(kp.public().as_bytes()[1..9].try_into().unwrap());
+    let r = u64::from_be_bytes(bytes[1..9].try_into().unwrap());
+    let s = u64::from_be_bytes(bytes[9..17].try_into().unwrap());
+    report.bench("schnorr61/verify_legacy", budget, samples, || {
+        assert!(schnorr61::verify(
+            pk,
+            std::hint::black_box(&msg),
+            std::hint::black_box(r),
+            s
+        ));
+    });
+    report.bench("schnorr61/verify_fast", budget, samples, || {
+        assert!(schnorr61::verify_fast(
+            pk,
+            std::hint::black_box(&msg),
+            std::hint::black_box(r),
+            s
+        ));
+    });
+    let mut e = 1u64;
+    report.bench("schnorr61/powmod_g", budget, samples, || {
+        e = e.wrapping_mul(6364136223846793005).wrapping_add(1);
+        std::hint::black_box(schnorr61::powmod(schnorr61::G, std::hint::black_box(e)));
+    });
+    let mut e = 1u64;
+    report.bench("schnorr61/g_powmod", budget, samples, || {
+        e = e.wrapping_mul(6364136223846793005).wrapping_add(1);
+        std::hint::black_box(schnorr61::g_powmod(std::hint::black_box(e)));
+    });
+    report.bench("schnorr61/sign", budget, samples, || {
+        std::hint::black_box(kp.sign(std::hint::black_box(&msg)));
+    });
+
+    // -- descriptor verification by chain length ----------------------
+    let keys = pool(Scheme::Schnorr61, 16);
+    for t in CHAIN_LENGTHS {
+        let d = chained(&keys, t);
+        report.bench(
+            &format!("descriptor/verify_cold/{t}"),
+            budget,
+            samples,
+            || {
+                d.verify().unwrap();
+            },
+        );
+        let mut memo = warmed_memo(&d, 1024);
+        report.bench(
+            &format!("descriptor/verify_memoized/{t}"),
+            budget,
+            samples,
+            || {
+                d.verify_with(&mut memo).unwrap();
+            },
+        );
+    }
+    // Incremental: one appended link over a memoized 16-link prefix (the
+    // memo is cloned per iteration so the result never becomes an exact
+    // hit; the clone itself is a few hundred nanoseconds of overhead).
+    {
+        let prefix = chained(&keys, 16);
+        let owner = &keys[16 % keys.len()];
+        let extended = prefix
+            .transfer(owner, keys[17 % keys.len()].public())
+            .unwrap();
+        let memo = warmed_memo(&prefix, 1024);
+        report.bench("descriptor/verify_extend_by_1/16", budget, samples, || {
+            let mut m = memo.clone();
+            extended.verify_with(&mut m).unwrap();
+        });
+    }
+
+    // -- end-to-end simulation cycle ----------------------------------
+    {
+        let mut params = SecureNetParams::new(sim_nodes, 0, SecureAttack::None);
+        params.cfg = SecureConfig::default().with_view_len(10).with_swap_len(3);
+        let mut net = build_secure_network(params);
+        net.engine.run_cycles(10); // warm up to steady state
+        report.bench(
+            &format!("simulation/secure_cycle_{sim_nodes}"),
+            sim_budget,
+            samples.min(7),
+            || {
+                net.engine.run_cycle();
+            },
+        );
+    }
+
+    // -- derived ratios ------------------------------------------------
+    report.derive_ratio(
+        "memoized_speedup_16",
+        "descriptor/verify_cold/16",
+        "descriptor/verify_memoized/16",
+    );
+    report.derive_ratio(
+        "memoized_speedup_64",
+        "descriptor/verify_cold/64",
+        "descriptor/verify_memoized/64",
+    );
+    report.derive_ratio(
+        "extend_speedup_16",
+        "descriptor/verify_cold/16",
+        "descriptor/verify_extend_by_1/16",
+    );
+    report.derive_ratio(
+        "verify_fast_speedup",
+        "schnorr61/verify_legacy",
+        "schnorr61/verify_fast",
+    );
+    report.derive_ratio(
+        "g_powmod_speedup",
+        "schnorr61/powmod_g",
+        "schnorr61/g_powmod",
+    );
+
+    if let Some((_, ratio)) = report
+        .derived
+        .iter()
+        .find(|(k, _)| k == "memoized_speedup_16")
+    {
+        if *ratio < 5.0 {
+            eprintln!(
+                "WARNING: memoized re-verify of a 16-link chain is only {ratio:.2}x \
+                 faster than cold verify (target: >=5x)"
+            );
+        }
+    }
+
+    let path = out.unwrap_or_else(next_bench_path);
+    std::fs::write(&path, report.to_json()).expect("write bench report");
+    println!("\nwrote {path}");
+}

@@ -29,6 +29,7 @@
 
 use crate::chain::{compare_chains, ChainRelation, CompareError};
 use crate::descriptor::{DescriptorId, LinkKind, SecureDescriptor};
+use crate::memo::VerifyMemo;
 use crate::proof::ViolationProof;
 use crate::time::Timestamp;
 use sc_crypto::NodeId;
@@ -117,6 +118,30 @@ impl SampleCache {
         now_cycle: u64,
         period_ticks: u64,
     ) -> Observation {
+        self.observe_impl(desc, now_cycle, period_ticks, &mut None)
+    }
+
+    /// Like [`SampleCache::observe`], but routes the verification that
+    /// conflict handling triggers through a verified-prefix memo, so
+    /// proof construction only pays for links past the last verified
+    /// prefix. This is the variant the protocol node uses.
+    pub fn observe_with(
+        &mut self,
+        desc: &SecureDescriptor,
+        now_cycle: u64,
+        period_ticks: u64,
+        memo: &mut VerifyMemo,
+    ) -> Observation {
+        self.observe_impl(desc, now_cycle, period_ticks, &mut Some(memo))
+    }
+
+    fn observe_impl(
+        &mut self,
+        desc: &SecureDescriptor,
+        now_cycle: u64,
+        period_ticks: u64,
+        memo: &mut Option<&mut VerifyMemo>,
+    ) -> Observation {
         let id = desc.id();
 
         // Ownership check against a cached copy of the same token.
@@ -151,11 +176,11 @@ impl SampleCache {
                     ns_exception: false,
                     ..
                 }) => {
-                    return match ViolationProof::cloning(cached.desc.clone(), desc.clone()) {
+                    return match build_cloning(cached.desc.clone(), desc.clone(), memo) {
                         Ok(proof) => Observation::Violation(Box::new(proof)),
                         Err(_) => {
                             // One side is forged: keep whichever verifies.
-                            if cached.desc.verify().is_err() && desc.verify().is_ok() {
+                            if !verify_ok(&cached.desc, memo) && verify_ok(desc, memo) {
                                 cached.desc = desc.clone();
                             }
                             Observation::Forged
@@ -165,14 +190,15 @@ impl SampleCache {
                 Err(CompareError::GenesisMismatch) => {
                     // Two distinct creations with the same timestamp:
                     // a frequency violation with Δt = 0.
-                    return match ViolationProof::frequency(
+                    return match build_frequency(
                         cached.desc.clone(),
                         desc.clone(),
                         period_ticks,
+                        memo,
                     ) {
                         Ok(proof) => Observation::Violation(Box::new(proof)),
                         Err(_) => {
-                            if cached.desc.verify().is_err() && desc.verify().is_ok() {
+                            if !verify_ok(&cached.desc, memo) && verify_ok(desc, memo) {
                                 cached.desc = desc.clone();
                             }
                             Observation::Forged
@@ -191,16 +217,18 @@ impl SampleCache {
                 .expect("index entries always have samples")
                 .desc
                 .clone();
-            return match ViolationProof::frequency(other, desc.clone(), period_ticks) {
+            return match build_frequency(other, desc.clone(), period_ticks, memo) {
                 Ok(proof) => Observation::Violation(Box::new(proof)),
                 Err(_) => {
                     // One of the two creations is forged; evict it if it
                     // is the cached one and the incoming verifies.
-                    if desc.verify().is_ok() {
-                        if let Some(c) = self.by_id.get_mut(&conflict) {
-                            if c.desc.verify().is_err() {
-                                self.remove_entry(&conflict);
-                            }
+                    if verify_ok(desc, memo) {
+                        let cached_forged = self
+                            .by_id
+                            .get(&conflict)
+                            .is_some_and(|c| !verify_ok(&c.desc, memo));
+                        if cached_forged {
+                            self.remove_entry(&conflict);
                         }
                     }
                     Observation::Forged
@@ -274,6 +302,37 @@ impl SampleCache {
         if self.by_creator.remove(creator).is_some() {
             self.by_id.retain(|id, _| id.creator != *creator);
         }
+    }
+}
+
+/// Verification routed through the memo when one is supplied.
+fn verify_ok(desc: &SecureDescriptor, memo: &mut Option<&mut VerifyMemo>) -> bool {
+    match memo {
+        Some(m) => desc.verify_with(m).is_ok(),
+        None => desc.verify().is_ok(),
+    }
+}
+
+fn build_cloning(
+    left: SecureDescriptor,
+    right: SecureDescriptor,
+    memo: &mut Option<&mut VerifyMemo>,
+) -> Result<ViolationProof, crate::proof::ProofError> {
+    match memo {
+        Some(m) => ViolationProof::cloning_with(left, right, m),
+        None => ViolationProof::cloning(left, right),
+    }
+}
+
+fn build_frequency(
+    left: SecureDescriptor,
+    right: SecureDescriptor,
+    period_ticks: u64,
+    memo: &mut Option<&mut VerifyMemo>,
+) -> Result<ViolationProof, crate::proof::ProofError> {
+    match memo {
+        Some(m) => ViolationProof::frequency_with(left, right, period_ticks, m),
+        None => ViolationProof::frequency(left, right, period_ticks),
     }
 }
 
@@ -445,5 +504,29 @@ mod tests {
     #[test]
     fn debug_nonempty() {
         assert!(!format!("{:?}", SampleCache::new(3)).is_empty());
+    }
+
+    #[test]
+    fn observe_with_memo_matches_plain_observe() {
+        use crate::memo::VerifyMemo;
+        let (a, b, c, d) = (kp(1), kp(2), kp(3), kp(4));
+        let base = SecureDescriptor::create(&a, 0, Timestamp(0))
+            .transfer(&a, b.public())
+            .unwrap();
+        let left = base.transfer(&b, c.public()).unwrap();
+        let right = base.transfer(&b, d.public()).unwrap();
+        let ns = base.redeem(&b, LinkKind::RedeemNonSwappable).unwrap();
+        // New, Extended, AlreadyKnown, NsException, then a genuine
+        // cloning violation — every observation class in one stream.
+        let stream = [&base, &left, &base, &ns, &right];
+        let mut plain = SampleCache::new(60);
+        let mut memoized = SampleCache::new(60);
+        let mut memo = VerifyMemo::new(256);
+        for (i, desc) in stream.iter().enumerate() {
+            let expect = plain.observe(desc, i as u64, PERIOD);
+            let got = memoized.observe_with(desc, i as u64, PERIOD, &mut memo);
+            assert_eq!(got, expect, "observation {i}");
+        }
+        assert!(memo.hits() > 0, "conflict handling exercised the memo");
     }
 }

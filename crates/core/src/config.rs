@@ -36,6 +36,10 @@ pub struct SecureConfig {
     /// Proofs learned within this many cycles are piggybacked on gossip
     /// messages (§IV-C, catching up absent/new nodes).
     pub proof_piggyback_cycles: u64,
+    /// Capacity of the verified-prefix memo driving incremental descriptor
+    /// verification (digests retained; 32 bytes each). Zero disables
+    /// memoization and falls back to full from-genesis verification.
+    pub verify_memo_capacity: usize,
 }
 
 impl Default for SecureConfig {
@@ -54,6 +58,7 @@ impl Default for SecureConfig {
             max_ns_redemptions_per_cycle: 1,
             transfer_history_len: 8,
             proof_piggyback_cycles: 10,
+            verify_memo_capacity: 4096,
         }
     }
 }

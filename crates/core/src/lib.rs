@@ -18,6 +18,7 @@
 //! * [`descriptor`] — secure descriptors and ownership chains (§IV-A)
 //! * [`chain`] — chain compatibility algebra (§IV-B)
 //! * [`checks`] — sample cache, frequency + ownership checks (§IV-B)
+//! * [`memo`] — bounded verified-prefix memo for incremental verification
 //! * [`proof`] — transferable violation proofs (§IV-B)
 //! * [`blacklist`] — proof-backed eviction (§IV-C)
 //! * [`view`] — the secure partial view with non-swappable slots (§V-A)
@@ -52,6 +53,7 @@ pub mod chain;
 pub mod checks;
 pub mod config;
 pub mod descriptor;
+pub mod memo;
 pub mod msg;
 pub mod node;
 pub mod proof;
@@ -68,6 +70,7 @@ pub use config::SecureConfig;
 pub use descriptor::{
     ChainLink, DescriptorError, DescriptorId, Genesis, LinkKind, SecureDescriptor,
 };
+pub use memo::VerifyMemo;
 pub use msg::{AcceptBody, RequestBody, RoundBody, RoundReplyBody, SecureMsg};
 pub use node::{ProofRecord, SecureCyclonNode, SecureStats};
 pub use proof::{ProofError, ProofKind, ViolationProof};

@@ -1,0 +1,164 @@
+//! Bounded memo of *verified* chain prefixes — the incremental
+//! verification cache behind `SecureDescriptor::verify_with`.
+//!
+//! Every descriptor carries a running state digest that commits to its
+//! genesis record and every chain link (including signatures). Once a
+//! node has fully verified a descriptor, the digest of each of its
+//! prefixes identifies a byte-exact chain whose genesis signature, link
+//! signatures, and structural rules are all known good. Re-encountering
+//! any of those digests later — the same descriptor arriving again, an
+//! extended snapshot of it, or a fork sharing the prefix — lets the
+//! verifier skip straight to the links appended after the memoized
+//! prefix, making intake verification amortized O(new links) instead of
+//! O(chain length).
+//!
+//! # Safety argument
+//!
+//! The memo is sound because entries are inserted **only** after a full
+//! local verification succeeds, and are keyed by a SHA-256 digest of the
+//! entire prefix content. A tampered copy (flipped signature, spliced
+//! prefix, forged genesis) necessarily hashes to different prefix
+//! digests, misses the memo, and falls back to full verification — there
+//! is no way to "poison" the memo with unverified material. Structural
+//! rules are still enforced over the whole chain on every call (they are
+//! hash-cheap), so a memoized redeemed prefix cannot hide an illegal
+//! post-redemption extension. Third-party proof validation
+//! (`ViolationProof::validate`) deliberately bypasses the memo and stays
+//! fully self-certifying.
+//!
+//! The memo is bounded FIFO: beyond `capacity` digests the oldest entry
+//! is dropped, degrading gracefully to full verification. A capacity of
+//! zero disables memoization entirely.
+
+use sc_crypto::Digest;
+use std::collections::{HashSet, VecDeque};
+
+/// Bounded FIFO set of state digests of verified chain prefixes.
+#[derive(Clone, Debug)]
+pub struct VerifyMemo {
+    set: HashSet<Digest>,
+    fifo: VecDeque<Digest>,
+    capacity: usize,
+    lookups: u64,
+    hits: u64,
+}
+
+impl VerifyMemo {
+    /// Creates a memo retaining at most `capacity` prefix digests.
+    /// `capacity == 0` disables memoization (every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        VerifyMemo {
+            set: HashSet::with_capacity(capacity.min(4096)),
+            fifo: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Whether `digest` identifies a verified prefix. Records hit/miss
+    /// statistics, hence `&mut self`.
+    pub fn contains(&mut self, digest: &Digest) -> bool {
+        self.lookups += 1;
+        let hit = self.set.contains(digest);
+        if hit {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Records a verified prefix digest, evicting the oldest entry when
+    /// full. Crate-private on purpose: only `SecureDescriptor::verify_with`
+    /// may call this, and only after a successful verification — exposing
+    /// it would let external code poison the memo with unverified digests.
+    pub(crate) fn insert(&mut self, digest: Digest) {
+        if self.capacity == 0 || self.set.contains(&digest) {
+            return;
+        }
+        if self.fifo.len() == self.capacity {
+            if let Some(old) = self.fifo.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        self.set.insert(digest);
+        self.fifo.push_back(digest);
+    }
+
+    /// Number of memoized prefix digests.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the memo holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Maximum number of retained digests.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total lookups performed (for tests, benches, and observability).
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that found a verified prefix.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(tag: u8) -> Digest {
+        [tag; 32]
+    }
+
+    #[test]
+    fn insert_then_contains() {
+        let mut m = VerifyMemo::new(8);
+        assert!(!m.contains(&digest(1)));
+        m.insert(digest(1));
+        assert!(m.contains(&digest(1)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.lookups(), 2);
+        assert_eq!(m.hits(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_and_fifo_eviction() {
+        let mut m = VerifyMemo::new(3);
+        for t in 0..5u8 {
+            m.insert(digest(t));
+        }
+        assert_eq!(m.len(), 3);
+        assert!(!m.contains(&digest(0)), "oldest evicted");
+        assert!(!m.contains(&digest(1)));
+        assert!(m.contains(&digest(2)));
+        assert!(m.contains(&digest(4)));
+    }
+
+    #[test]
+    fn duplicate_insert_does_not_double_occupy() {
+        let mut m = VerifyMemo::new(2);
+        m.insert(digest(1));
+        m.insert(digest(1));
+        m.insert(digest(2));
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&digest(1)));
+        assert!(m.contains(&digest(2)));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut m = VerifyMemo::new(0);
+        m.insert(digest(1));
+        assert!(m.is_empty());
+        assert!(!m.contains(&digest(1)));
+        assert_eq!(m.capacity(), 0);
+    }
+}

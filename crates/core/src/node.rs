@@ -22,6 +22,7 @@ use crate::blacklist::Blacklist;
 use crate::checks::{Observation, SampleCache};
 use crate::config::SecureConfig;
 use crate::descriptor::{DescriptorId, LinkKind, SecureDescriptor};
+use crate::memo::VerifyMemo;
 use crate::msg::{AcceptBody, RequestBody, RoundBody, RoundReplyBody, SecureMsg};
 use crate::proof::{ProofKind, ViolationProof};
 use crate::redemption::RedemptionCache;
@@ -111,6 +112,11 @@ pub struct SecureCyclonNode {
     phase: u64,
     view: SecureView,
     samples: SampleCache,
+    /// Bounded memo of verified chain prefixes: every descriptor the node
+    /// relies on is verified incrementally against it, so intake costs
+    /// amortized O(links appended since last sighting) instead of
+    /// O(chain) signature checks per message.
+    verify_memo: VerifyMemo,
     redemptions: RedemptionCache,
     /// Pre-transfer copies of descriptors lost in failed exchanges — the
     /// first-priority candidates for non-swappable back-fill (§V-A). In a
@@ -190,6 +196,7 @@ impl SecureCyclonNode {
             phase,
             view: SecureView::new(id, cfg.view_len),
             samples: SampleCache::new(cfg.sample_retention_cycles),
+            verify_memo: VerifyMemo::new(cfg.verify_memo_capacity),
             redemptions: RedemptionCache::new(cfg.redemption_cache_cycles),
             pending_ns: VecDeque::with_capacity(cfg.transfer_history_len),
             transfer_history: VecDeque::with_capacity(cfg.transfer_history_len),
@@ -397,20 +404,23 @@ impl SecureCyclonNode {
     // Descriptor intake
     // ------------------------------------------------------------------
 
-    /// Verifies a descriptor fully, then runs the §IV-B checks. Used for
+    /// Verifies a descriptor, then runs the §IV-B checks. Used for
     /// everything whose validity the node is about to rely on: incoming
     /// ownership transfers, fresh descriptors, redemption certificates.
+    ///
+    /// Verification is incremental against the verified-prefix memo:
+    /// a byte-identical re-intake is an O(1) memo hit, an extended or
+    /// forked chain pays only for the links past the last verified
+    /// prefix, and a first sighting falls back to full verification.
+    /// Unlike the byte-identical *sample* shortcut this replaces, the
+    /// memo holds only locally verified prefixes, so an attacker cannot
+    /// pre-seed the cache with a forged sample and then replay the same
+    /// bytes as a transfer to dodge verification.
     fn absorb_descriptor(&mut self, desc: &SecureDescriptor, cycle: u64) -> bool {
         if self.blacklist.contains(&desc.creator()) {
             return false;
         }
-        // Skip re-verification when a byte-identical copy is cached
-        // (samples repeat heavily from cycle to cycle).
-        let already_seen = self
-            .samples
-            .get(&desc.id())
-            .is_some_and(|cached| cached == desc);
-        if !already_seen && desc.verify().is_err() {
+        if desc.verify_with(&mut self.verify_memo).is_err() {
             self.stats.invalid_descriptors += 1;
             return false;
         }
@@ -429,7 +439,12 @@ impl SecureCyclonNode {
 
     fn check_only(&mut self, desc: &SecureDescriptor, cycle: u64) -> bool {
         self.stats.samples_processed += 1;
-        match self.samples.observe(desc, cycle, self.cfg.ticks_per_cycle) {
+        match self.samples.observe_with(
+            desc,
+            cycle,
+            self.cfg.ticks_per_cycle,
+            &mut self.verify_memo,
+        ) {
             Observation::Violation(proof) => {
                 self.discover_violation(*proof, cycle);
                 false
@@ -461,8 +476,10 @@ impl SecureCyclonNode {
             return;
         }
         self.stats.transfers_received += 1;
-        if !self.view.insert(d.clone(), false) && !self.view.replace_ns_with(d.clone()) {
-            self.push_reserve(d);
+        if let Some(d) = self.view.try_insert(d, false) {
+            if let Some(d) = self.view.try_replace_ns_with(d) {
+                self.push_reserve(d);
+            }
         }
     }
 
@@ -518,7 +535,7 @@ impl SecureCyclonNode {
                 }
                 if self.view.can_insert(&d) {
                     self.view.insert(d, false);
-                } else if !self.view.replace_ns_with(d.clone()) {
+                } else if let Some(d) = self.view.try_replace_ns_with(d) {
                     keep.push_back(d);
                 }
             }
@@ -603,7 +620,9 @@ impl SecureCyclonNode {
         } = body;
 
         // -- validate the redemption certificate -----------------------
-        if redeemed.verify().is_err() || redeemed.creator() != self.id {
+        // Incremental: the certificate's chain prefix is usually already
+        // memoized from the sample stream, so only recent links pay.
+        if redeemed.verify_with(&mut self.verify_memo).is_err() || redeemed.creator() != self.id {
             self.stats.refused += 1;
             return None;
         }
@@ -617,7 +636,7 @@ impl SecureCyclonNode {
         };
 
         // -- validate the initiator's fresh descriptor -----------------
-        let fresh_ok = fresh.verify().is_ok()
+        let fresh_ok = fresh.verify_with(&mut self.verify_memo).is_ok()
             && fresh.creator() == redeemer
             && fresh.owner() == self.id
             && fresh.chain().len() == 1
@@ -667,11 +686,31 @@ impl SecureCyclonNode {
         }
 
         // -- §IV-B checks on everything received ------------------------
+        // Observe each distinct descriptor exactly once: the honest
+        // initiator's sample set legitimately repeats the redeemed
+        // certificate (it enters the redemption cache before samples are
+        // collected), and attackers pad their sample lists with arbitrary
+        // byte-identical repeats. A repeat carries no new §IV-B
+        // information, so skipping it changes no verdict — it only keeps
+        // `samples_processed` honest and saves redundant cache walks.
+        #[cfg(debug_assertions)]
+        let samples_processed_before = self.stats.samples_processed;
+        let mut observed: HashSet<sc_crypto::Digest> = HashSet::with_capacity(samples.len() + 2);
+        observed.insert(redeemed.state_digest());
+        observed.insert(fresh.state_digest());
         let red_ok = self.absorb_descriptor(&redeemed, cycle);
         let fresh_clean = self.absorb_descriptor(&fresh, cycle);
         for s in &samples {
+            if !observed.insert(s.state_digest()) {
+                continue;
+            }
             self.absorb_sample(s, cycle);
         }
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            self.stats.samples_processed - samples_processed_before <= observed.len() as u64,
+            "samples_processed must increment at most once per observed descriptor"
+        );
         if !red_ok || !fresh_clean || self.blacklist.contains(&redeemer) {
             self.stats.refused += 1;
             return None;
@@ -699,7 +738,7 @@ impl SecureCyclonNode {
             });
         let mut transfers = Vec::with_capacity(picked.len());
         for pre in picked {
-            if let Ok(t) = pre.clone().transfer(&self.keypair, redeemer) {
+            if let Ok(t) = pre.transfer(&self.keypair, redeemer) {
                 self.stats.transfers_sent += 1;
                 transfers.push(t);
                 self.remember_transfer(pre);
@@ -708,10 +747,13 @@ impl SecureCyclonNode {
 
         // -- store what we received -------------------------------------
         self.stats.transfers_received += 1;
-        if !self.view.insert(fresh.clone(), false) && !self.view.replace_ns_with(fresh.clone()) {
-            // Usually an older descriptor of the initiator still occupies
-            // the slot; park the fresh one until that one is redeemed.
-            self.push_reserve(fresh);
+        if let Some(fresh) = self.view.try_insert(fresh, false) {
+            if let Some(fresh) = self.view.try_replace_ns_with(fresh) {
+                // Usually an older descriptor of the initiator still
+                // occupies the slot; park the fresh one until that one is
+                // redeemed.
+                self.push_reserve(fresh);
+            }
         }
         if !self.cfg.tit_for_tat {
             for d in offered.into_iter().take(quota.saturating_sub(1)) {
@@ -754,7 +796,7 @@ impl SecureCyclonNode {
             .into_iter()
             .next()
             .and_then(|pre| {
-                let out = pre.clone().transfer(&self.keypair, partner).ok();
+                let out = pre.transfer(&self.keypair, partner).ok();
                 if out.is_some() {
                     self.remember_transfer(pre);
                 }
@@ -895,7 +937,7 @@ impl SecureCyclonNode {
             else {
                 return; // nothing left to trade
             };
-            let Ok(out) = pre.clone().transfer(&self.keypair, partner_id) else {
+            let Ok(out) = pre.transfer(&self.keypair, partner_id) else {
                 return;
             };
             self.stats.transfers_sent += 1;
@@ -1238,6 +1280,75 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(digest(42), digest(42));
+    }
+
+    #[test]
+    fn samples_processed_counts_each_descriptor_once() {
+        let kps = keypairs(3);
+        let (a, b, c) = (kps[0].clone(), kps[1].clone(), kps[2].clone());
+        let cfg = small_cfg().validated();
+        let mut node = SecureCyclonNode::new(a.clone(), 0, cfg, [9u8; 32], 0);
+        // B holds a descriptor created by A and redeems it back to A.
+        let redeemed = SecureDescriptor::create(&a, 0, Timestamp(0))
+            .transfer(&a, b.public())
+            .unwrap()
+            .redeem(&b, LinkKind::Redeem)
+            .unwrap();
+        let now = cfg.ticks_per_cycle;
+        let fresh = SecureDescriptor::create(&b, 1, Timestamp(now))
+            .transfer(&b, a.public())
+            .unwrap();
+        let sample = SecureDescriptor::create(&c, 2, Timestamp(500));
+        let body = RequestBody {
+            redeemed: redeemed.clone(),
+            fresh,
+            offered: Vec::new(),
+            // The initiator's sample set repeats the redemption
+            // certificate, exactly as the real initiator's
+            // `collect_samples` does (the redeemed copy enters its
+            // redemption cache before samples are collected).
+            samples: vec![redeemed, sample],
+            proofs: Vec::new(),
+        };
+        let reply = node.handle_request(7, body, 1, now);
+        assert!(reply.is_some(), "exchange accepted");
+        assert_eq!(
+            node.stats().samples_processed,
+            3,
+            "redeemed + fresh + one distinct sample; the duplicate must not double-count"
+        );
+    }
+
+    #[test]
+    fn forged_sample_cannot_preverify_a_transfer() {
+        use crate::descriptor::{ChainLink, Genesis};
+        use sc_crypto::Signature;
+        let kps = keypairs(3);
+        let (a, c) = (kps[0].clone(), kps[2].clone());
+        let mut node = SecureCyclonNode::new(a.clone(), 0, small_cfg(), [9u8; 32], 0);
+        // A forged descriptor "created by" c and "owned by" a, with
+        // garbage signatures throughout.
+        let genesis = Genesis {
+            creator: c.public(),
+            addr: 2,
+            created_at: Timestamp(0),
+            sig: Signature::from_bytes([0u8; 64]),
+        };
+        let link = ChainLink {
+            to: a.public(),
+            kind: LinkKind::Transfer,
+            sig: Signature::from_bytes([0u8; 64]),
+        };
+        let forged = SecureDescriptor::from_parts(genesis, vec![link]);
+        // First shown as a sample: cached lazily, without verification.
+        assert!(node.absorb_sample(&forged, 0));
+        // Then replayed byte-identically as an ownership transfer: the
+        // intake gate must still verify — and reject — it. (The old
+        // byte-identical-sample shortcut skipped verification here.)
+        node.accept_transfer(forged, c.public(), 0);
+        assert_eq!(node.stats().invalid_descriptors, 1);
+        assert_eq!(node.stats().transfers_received, 0);
+        assert_eq!(node.view().len(), 0, "forgery never reaches the view");
     }
 
     #[test]

@@ -111,14 +111,24 @@ impl SecureView {
     ///
     /// Rejects entries violating the view invariants (see module docs).
     pub fn insert(&mut self, desc: SecureDescriptor, non_swappable: bool) -> bool {
+        self.try_insert(desc, non_swappable).is_none()
+    }
+
+    /// Move-based insert: stores `desc` if the invariants allow, otherwise
+    /// hands it back so the caller can route it elsewhere without cloning.
+    pub fn try_insert(
+        &mut self,
+        desc: SecureDescriptor,
+        non_swappable: bool,
+    ) -> Option<SecureDescriptor> {
         if !self.can_insert(&desc) {
-            return false;
+            return Some(desc);
         }
         self.entries.push(ViewEntry {
             desc,
             non_swappable,
         });
-        true
+        None
     }
 
     /// Removes and returns the entry with the oldest creation timestamp —
@@ -182,19 +192,25 @@ impl SecureView {
     /// real owned descriptor of the same creator is strictly better, so
     /// it takes the slot. Returns whether a replacement happened.
     pub fn replace_ns_with(&mut self, desc: SecureDescriptor) -> bool {
+        self.try_replace_ns_with(desc).is_none()
+    }
+
+    /// Move-based variant of [`SecureView::replace_ns_with`]: returns the
+    /// descriptor unchanged when no non-swappable slot matched.
+    pub fn try_replace_ns_with(&mut self, desc: SecureDescriptor) -> Option<SecureDescriptor> {
         if desc.creator() == self.owner || desc.owner() != self.owner || desc.is_redeemed() {
-            return false;
+            return Some(desc);
         }
         let Some(entry) = self
             .entries
             .iter_mut()
             .find(|e| e.non_swappable && e.desc.creator() == desc.creator())
         else {
-            return false;
+            return Some(desc);
         };
         entry.desc = desc;
         entry.non_swappable = false;
-        true
+        None
     }
 
     /// Removes all entries created by `creator`; returns how many were

@@ -1,0 +1,193 @@
+//! Adversarial tests for the verified-prefix memo: whatever an attacker
+//! does to a chain *after* its honest prefix was memoized, incremental
+//! verification must reject exactly what full verification rejects.
+//!
+//! Tampered copies are rebuilt through `SecureDescriptor::from_parts` —
+//! the same constructor the wire codec uses — so their state digests are
+//! consistent with their (malicious) content, exactly as they would be
+//! arriving off the network.
+
+use sc_core::descriptor::{ChainLink, Genesis};
+use sc_core::{DescriptorError, LinkKind, SecureDescriptor, Timestamp, VerifyMemo};
+use sc_crypto::{Keypair, Scheme, Signature};
+
+fn kp(tag: u8) -> Keypair {
+    Keypair::from_seed(Scheme::Schnorr61, [tag; 32])
+}
+
+/// An honest chain A → B → C → D, fully verified into `memo`.
+fn memoized_chain(memo: &mut VerifyMemo) -> SecureDescriptor {
+    let (a, b, c, d) = (kp(1), kp(2), kp(3), kp(4));
+    let desc = SecureDescriptor::create(&a, 7, Timestamp(0))
+        .transfer(&a, b.public())
+        .unwrap()
+        .transfer(&b, c.public())
+        .unwrap()
+        .transfer(&c, d.public())
+        .unwrap();
+    desc.verify_with(memo).unwrap();
+    assert!(!memo.is_empty());
+    desc
+}
+
+fn flip_sig(sig: &Signature, byte: usize) -> Signature {
+    let mut bytes = *sig.as_bytes();
+    bytes[byte] ^= 0x01;
+    Signature::from_bytes(bytes)
+}
+
+#[test]
+fn flipped_link_signature_in_memoized_prefix_is_rejected() {
+    let mut memo = VerifyMemo::new(256);
+    let honest = memoized_chain(&mut memo);
+    for index in 0..honest.chain().len() {
+        let mut links = honest.chain().to_vec();
+        links[index].sig = flip_sig(&links[index].sig, 3);
+        let tampered = SecureDescriptor::from_parts(*honest.genesis(), links);
+        assert_eq!(
+            tampered.verify_with(&mut memo).unwrap_err(),
+            DescriptorError::BadLinkSignature { index },
+            "tampered link {index}"
+        );
+        assert_eq!(tampered.verify_with(&mut memo), tampered.verify());
+    }
+}
+
+#[test]
+fn spliced_prefix_from_another_descriptor_is_rejected() {
+    let mut memo = VerifyMemo::new(256);
+    let honest = memoized_chain(&mut memo);
+    // A second descriptor by the same creator, also fully memoized.
+    let (a, b) = (kp(1), kp(2));
+    let other = SecureDescriptor::create(&a, 7, Timestamp(5000))
+        .transfer(&a, b.public())
+        .unwrap();
+    other.verify_with(&mut memo).unwrap();
+    // Graft the honest chain onto the other genesis: every ingredient is
+    // individually memoized, but the combination was never verified and
+    // the link signatures commit to the original genesis digest.
+    let spliced = SecureDescriptor::from_parts(*other.genesis(), honest.chain().to_vec());
+    assert_eq!(
+        spliced.verify_with(&mut memo).unwrap_err(),
+        DescriptorError::BadLinkSignature { index: 0 }
+    );
+    assert_eq!(spliced.verify_with(&mut memo), spliced.verify());
+}
+
+#[test]
+fn forged_genesis_under_memoized_chain_is_rejected() {
+    let mut memo = VerifyMemo::new(256);
+    let honest = memoized_chain(&mut memo);
+    let mut genesis = *honest.genesis();
+    genesis.addr = 999; // genesis signature no longer covers the content
+    let forged = SecureDescriptor::from_parts(genesis, honest.chain().to_vec());
+    assert_eq!(
+        forged.verify_with(&mut memo).unwrap_err(),
+        DescriptorError::BadGenesisSignature
+    );
+    assert_eq!(forged.verify_with(&mut memo), forged.verify());
+}
+
+#[test]
+fn wholly_forged_genesis_signature_is_rejected() {
+    let mut memo = VerifyMemo::new(256);
+    let c = kp(9);
+    let genesis = Genesis {
+        creator: c.public(),
+        addr: 1,
+        created_at: Timestamp(0),
+        sig: Signature::from_bytes([0xa5; 64]),
+    };
+    let forged = SecureDescriptor::from_parts(genesis, Vec::new());
+    assert_eq!(
+        forged.verify_with(&mut memo).unwrap_err(),
+        DescriptorError::BadGenesisSignature
+    );
+    assert!(memo.is_empty(), "failed verification memoizes nothing");
+}
+
+#[test]
+fn post_redemption_extension_rejected_despite_memoized_prefix() {
+    let mut memo = VerifyMemo::new(256);
+    let (a, b, c) = (kp(1), kp(2), kp(3));
+    let redeemed = SecureDescriptor::create(&a, 7, Timestamp(0))
+        .transfer(&a, b.public())
+        .unwrap()
+        .redeem(&b, LinkKind::Redeem)
+        .unwrap();
+    redeemed.verify_with(&mut memo).unwrap();
+    // Append a transfer after the terminal redemption. Every prefix —
+    // including the complete redeemed chain — is memoized, yet the
+    // structural walk must still reject the extension.
+    let mut links = redeemed.chain().to_vec();
+    links.push(ChainLink {
+        to: c.public(),
+        kind: LinkKind::Transfer,
+        sig: Signature::from_bytes([0x11; 64]),
+    });
+    let bad = SecureDescriptor::from_parts(*redeemed.genesis(), links);
+    assert_eq!(
+        bad.verify_with(&mut memo).unwrap_err(),
+        DescriptorError::RedemptionNotTerminal
+    );
+    assert_eq!(bad.verify_with(&mut memo), bad.verify());
+}
+
+#[test]
+fn forged_fork_off_memoized_prefix_is_rejected() {
+    let mut memo = VerifyMemo::new(256);
+    let honest = memoized_chain(&mut memo);
+    // An attacker (E) forges a continuation of the honest prefix signed
+    // with its own key instead of the owner's.
+    let e = kp(5);
+    let mut links = honest.chain().to_vec();
+    links.pop();
+    let forged_link = ChainLink {
+        to: e.public(),
+        kind: LinkKind::Transfer,
+        sig: e.sign(b"not even the right message"),
+    };
+    links.push(forged_link);
+    let forged = SecureDescriptor::from_parts(*honest.genesis(), links);
+    assert_eq!(
+        forged.verify_with(&mut memo).unwrap_err(),
+        DescriptorError::BadLinkSignature {
+            index: honest.chain().len() - 1
+        }
+    );
+    assert_eq!(forged.verify_with(&mut memo), forged.verify());
+}
+
+#[test]
+fn failed_incremental_verification_never_poisons_the_memo() {
+    let mut memo = VerifyMemo::new(256);
+    let honest = memoized_chain(&mut memo);
+    let len_after_honest = memo.len();
+    let mut links = honest.chain().to_vec();
+    links[1].sig = flip_sig(&links[1].sig, 5);
+    let tampered = SecureDescriptor::from_parts(*honest.genesis(), links);
+    assert!(tampered.verify_with(&mut memo).is_err());
+    assert_eq!(
+        memo.len(),
+        len_after_honest,
+        "rejection must not insert tampered prefixes"
+    );
+    // And the tampered full digest itself must still miss.
+    assert!(tampered.verify_with(&mut memo).is_err());
+}
+
+#[test]
+fn memo_eviction_degrades_to_full_verification() {
+    // A memo of capacity 2 cannot hold a 4-link chain's prefixes; the
+    // verifier must still accept valid chains and reject tampered ones.
+    let mut memo = VerifyMemo::new(2);
+    let honest = memoized_chain(&mut memo);
+    assert!(honest.verify_with(&mut memo).is_ok());
+    let mut links = honest.chain().to_vec();
+    links[0].sig = flip_sig(&links[0].sig, 0);
+    let tampered = SecureDescriptor::from_parts(*honest.genesis(), links);
+    assert_eq!(
+        tampered.verify_with(&mut memo).unwrap_err(),
+        DescriptorError::BadLinkSignature { index: 0 }
+    );
+}

@@ -5,9 +5,9 @@
 use proptest::prelude::*;
 use securecyclon::core::{
     compare_chains, wire, ChainRelation, LinkKind, Observation, SampleCache, SecureDescriptor,
-    Timestamp, ViolationProof,
+    Timestamp, VerifyMemo, ViolationProof,
 };
-use securecyclon::crypto::{sha256, Keypair, Scheme, Sha256};
+use securecyclon::crypto::{sha256, Keypair, Scheme, Sha256, Signature};
 
 const PERIOD: u64 = 1000;
 
@@ -188,6 +188,74 @@ proptest! {
             prop_assert!(matches!(obs, Observation::Violation(_)), "sub-period spacing");
         } else {
             prop_assert_eq!(obs, Observation::New, "legal spacing");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental (memoized) verification ≡ full verification
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn incremental_verify_matches_full_verify(
+        path in proptest::collection::vec(0u8..20, 0..10),
+        warm in proptest::collection::vec(0usize..11, 0..5),
+        fork_tag in 20u8..30,
+        redeem_kind in prop_oneof![Just(LinkKind::Redeem), Just(LinkKind::RedeemNonSwappable)],
+        tamper_link in 0usize..10,
+        // Keyed-hash signatures only populate bytes 0..33 (tag + digest);
+        // flips beyond that are no-ops by construction, so stay inside.
+        tamper_byte in 0usize..33,
+    ) {
+        // Random honest history plus a fork and a redemption off its tip,
+        // checked against a memo warmed with a random subset of snapshots.
+        let snaps = chain_snapshots(0, 5000, &path);
+        let mut memo = VerifyMemo::new(512);
+        for &w in &warm {
+            let d = &snaps[w.min(snaps.len() - 1)];
+            prop_assert_eq!(d.verify_with(&mut memo), d.verify());
+        }
+        let base = snaps.last().unwrap();
+        let owner = (0u8..20).map(kp).find(|k| k.public() == base.owner()).unwrap();
+        let mut variants: Vec<SecureDescriptor> = snaps.clone();
+        if kp(fork_tag).public() != base.owner() {
+            variants.push(base.transfer(&owner, kp(fork_tag).public()).unwrap());
+        }
+        if !base.chain().is_empty() {
+            variants.push(base.redeem(&owner, redeem_kind).unwrap());
+        }
+        for d in &variants {
+            prop_assert_eq!(d.verify_with(&mut memo), d.verify());
+            prop_assert!(d.verify_with(&mut memo).is_ok());
+        }
+        // Tamper with one link signature of the longest variant (rebuilt
+        // through from_parts, as off the wire): identical rejection.
+        let victim = variants.last().unwrap();
+        if !victim.chain().is_empty() {
+            let mut links = victim.chain().to_vec();
+            let i = tamper_link % links.len();
+            let mut sig = *links[i].sig.as_bytes();
+            sig[tamper_byte] ^= 0x01;
+            links[i].sig = Signature::from_bytes(sig);
+            let tampered = SecureDescriptor::from_parts(*victim.genesis(), links);
+            prop_assert_eq!(tampered.verify_with(&mut memo), tampered.verify());
+            prop_assert!(tampered.verify_with(&mut memo).is_err());
+        }
+    }
+
+    #[test]
+    fn memo_capacity_never_changes_verdicts(
+        path in proptest::collection::vec(0u8..20, 0..10),
+        capacity in 0usize..8,
+    ) {
+        // Tiny (even zero) memos may evict arbitrarily; the verdict must
+        // be unaffected, only the amount of skipped work.
+        let snaps = chain_snapshots(3, 9000, &path);
+        let mut memo = VerifyMemo::new(capacity);
+        for d in &snaps {
+            prop_assert_eq!(d.verify_with(&mut memo), d.verify());
+        }
+        for d in snaps.iter().rev() {
+            prop_assert_eq!(d.verify_with(&mut memo), d.verify());
         }
     }
 
