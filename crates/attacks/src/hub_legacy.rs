@@ -1,5 +1,12 @@
 //! The hub attack against **legacy** Cyclon (paper §II-B, Figure 3).
 //!
+//! **Legacy harness.** This module bundles its own tiny network builder
+//! ([`build_legacy_network`]) instead of the `sc-testkit` scenario
+//! machinery: the unprotected baseline exists only to reproduce the
+//! Figure 3 takeover and shares no protocol state with the SecureCyclon
+//! stack. New adversarial scenarios should target SecureCyclon through
+//! `sc_testkit` rather than extending this builder.
+//!
 //! Malicious nodes behave perfectly until an agreed start cycle, then keep
 //! gossiping at the correct rate but present views consisting exclusively
 //! of fabricated descriptors pointing at random members of their party.

@@ -3,17 +3,23 @@
 //! Implements every attack the paper (ICDCS 2023) evaluates, against both
 //! the legacy Cyclon baseline and SecureCyclon itself:
 //!
-//! * [`hub_legacy`] — the hub attack on unprotected Cyclon (Figure 3):
-//!   a handful of colluding nodes take over 100% of the overlay's links.
+//! * [`hub_legacy`] — **legacy harness**: the hub attack on unprotected
+//!   Cyclon (Figure 3), where a handful of colluding nodes take over 100%
+//!   of the overlay's links. This module keeps its own self-contained
+//!   network builder because the unprotected baseline shares no state
+//!   with the SecureCyclon stack; everything SecureCyclon-related runs
+//!   through `sc-testkit` instead.
 //! * [`party`] — the colluding party's shared state: member keypairs
 //!   (forge-on-demand), the descriptor pool, and harvested victim tokens.
 //! * [`malicious`] — the malicious SecureCyclon participant with the
 //!   paper's attack strategies: hub (Figure 5), link-depletion
 //!   (Figure 6), age-targeted cloning (Figure 7), and frequency
 //!   violations.
-//! * [`net`] — mixed honest/malicious network builder plus the metrics
-//!   behind each figure's y-axis (malicious-link %, non-swappable-link %,
-//!   blacklist coverage, eclipsed fraction).
+//!
+//! The mixed honest/malicious network builder and the figure metrics
+//! formerly in this crate's `net` module now live in `sc_testkit::net`,
+//! where they share one engine path with fault scenarios and invariant
+//! oracles — this crate contains only the adversaries themselves.
 //!
 //! The adversary model follows §II-C: members collude, share all keys and
 //! descriptors, choose victims uniformly at random, and do not run any of
@@ -24,7 +30,6 @@
 
 pub mod hub_legacy;
 pub mod malicious;
-pub mod net;
 pub mod party;
 
 pub use hub_legacy::{
@@ -32,8 +37,4 @@ pub use hub_legacy::{
     LegacyNetParams, LegacyParty,
 };
 pub use malicious::{CloneEvent, CloneLedger, MaliciousSecureNode, SecureAttack};
-pub use net::{
-    blacklist_coverage, build_secure_network, eclipsed_fraction, malicious_link_fraction,
-    ns_link_fraction, proofs_generated, SecureNet, SecureNetParams, SecureNetwork,
-};
 pub use party::SecureParty;

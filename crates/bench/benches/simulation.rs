@@ -3,12 +3,10 @@
 //! `cargo bench` exercises the entire evaluation pipeline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sc_attacks::{
-    build_legacy_network, build_secure_network, CloneLedger, LegacyNetParams, SecureAttack,
-    SecureNetParams,
-};
+use sc_attacks::{build_legacy_network, CloneLedger, LegacyNetParams, SecureAttack};
 use sc_core::SecureConfig;
 use sc_cyclon::CyclonConfig;
+use sc_testkit::{build_secure_network, SecureNetParams};
 use std::cell::RefCell;
 use std::rc::Rc;
 

@@ -14,11 +14,12 @@
 //! measured code path without burning minutes; committed baselines should
 //! come from a full run on an idle machine.
 
-use sc_attacks::{build_secure_network, SecureAttack, SecureNetParams};
+use sc_attacks::SecureAttack;
 use sc_bench::report::Report;
 use sc_bench::{chained, pool, warmed_memo, CHAIN_LENGTHS};
 use sc_core::SecureConfig;
 use sc_crypto::{schnorr61, sha256, Keypair, Scheme};
+use sc_testkit::{build_secure_network, SecureNetParams};
 use std::time::Duration;
 
 /// One past the highest existing `BENCH_<n>.json` index, so auto-numbered
@@ -135,20 +136,27 @@ fn main() {
             },
         );
     }
-    // Incremental: one appended link over a memoized 16-link prefix (the
-    // memo is cloned per iteration so the result never becomes an exact
-    // hit; the clone itself is a few hundred nanoseconds of overhead).
-    {
-        let prefix = chained(&keys, 16);
-        let owner = &keys[16 % keys.len()];
+    // Incremental: one appended link over a memoized prefix (the memo is
+    // cloned per iteration so the result never becomes an exact hit; the
+    // clone itself is a few hundred nanoseconds of overhead). Measured at
+    // two prefix lengths — since descriptors carry their prefix digests,
+    // the cost must be flat in chain length (no O(chain) hash walk).
+    for t in [16usize, 64] {
+        let prefix = chained(&keys, t);
+        let owner = &keys[t % keys.len()];
         let extended = prefix
-            .transfer(owner, keys[17 % keys.len()].public())
+            .transfer(owner, keys[(t + 1) % keys.len()].public())
             .unwrap();
         let memo = warmed_memo(&prefix, 1024);
-        report.bench("descriptor/verify_extend_by_1/16", budget, samples, || {
-            let mut m = memo.clone();
-            extended.verify_with(&mut m).unwrap();
-        });
+        report.bench(
+            &format!("descriptor/verify_extend_by_1/{t}"),
+            budget,
+            samples,
+            || {
+                let mut m = memo.clone();
+                extended.verify_with(&mut m).unwrap();
+            },
+        );
     }
 
     // -- end-to-end simulation cycle ----------------------------------
@@ -181,6 +189,12 @@ fn main() {
     report.derive_ratio(
         "extend_speedup_16",
         "descriptor/verify_cold/16",
+        "descriptor/verify_extend_by_1/16",
+    );
+    // ≈1.0 when extend-by-one is chain-length independent.
+    report.derive_ratio(
+        "extend_64_vs_16",
+        "descriptor/verify_extend_by_1/64",
         "descriptor/verify_extend_by_1/16",
     );
     report.derive_ratio(

@@ -148,10 +148,14 @@ impl std::error::Error for DescriptorError {}
 pub struct SecureDescriptor {
     genesis: Genesis,
     chain: Arc<Vec<ChainLink>>,
-    /// Memoized running digest over genesis + chain (a pure function of
-    /// the other fields, maintained incrementally so that signing and
-    /// transferring are O(1) instead of O(chain)).
-    state: Digest,
+    /// Memoized running digests over genesis + chain at **every** prefix
+    /// length: `states[i]` commits to the genesis plus the first `i`
+    /// links, and `states[chain.len()]` is the descriptor's state digest.
+    /// A pure function of the other fields, maintained incrementally so
+    /// that signing, transferring, *and incremental verification* are
+    /// O(1) in chain length instead of O(chain) hashing per call. Shares
+    /// storage across clones exactly like `chain`.
+    states: Arc<Vec<Digest>>,
 }
 
 impl PartialEq for SecureDescriptor {
@@ -214,7 +218,7 @@ impl SecureDescriptor {
         SecureDescriptor {
             genesis,
             chain: Arc::new(Vec::new()),
-            state,
+            states: Arc::new(vec![state]),
         }
     }
 
@@ -223,14 +227,20 @@ impl SecureDescriptor {
     /// Used by the wire codec; the result must be checked with
     /// [`SecureDescriptor::verify`] before any protocol use.
     pub fn from_parts(genesis: Genesis, chain: Vec<ChainLink>) -> Self {
+        // The one place the full hash walk is paid: decoding off the wire.
+        // Everything downstream (verification, transfer, equality) reuses
+        // these prefix digests.
+        let mut states = Vec::with_capacity(chain.len() + 1);
         let mut state = genesis_state(&genesis);
+        states.push(state);
         for link in &chain {
             state = next_state(&state, link);
+            states.push(state);
         }
         SecureDescriptor {
             genesis,
             chain: Arc::new(chain),
-            state,
+            states: Arc::new(states),
         }
     }
 
@@ -328,7 +338,7 @@ impl SecureDescriptor {
     /// Running digest over genesis and the full chain (identifies the exact
     /// byte content of this copy, unlike [`SecureDescriptor::id`]).
     pub fn state_digest(&self) -> Digest {
-        self.state
+        self.states[self.chain.len()]
     }
 
     /// Appends a signed ownership transfer to `to`, returning the extended
@@ -366,11 +376,12 @@ impl SecureDescriptor {
         if to == self.owner() && !kind.is_redemption() {
             return Err(DescriptorError::TransferToSelf);
         }
-        let msg = link_message(&self.state, &to, kind);
+        let state = self.state_digest();
+        let msg = link_message(&state, &to, kind);
         let sig = owner.sign(&msg);
         let link = ChainLink { to, kind, sig };
         let mut next = self.clone();
-        next.state = next_state(&self.state, &link);
+        Arc::make_mut(&mut next.states).push(next_state(&state, &link));
         Arc::make_mut(&mut next.chain).push(link);
         Ok(next)
     }
@@ -419,42 +430,36 @@ impl SecureDescriptor {
     /// prefixes: signature checks are skipped for the longest chain prefix
     /// whose running digest the memo recognizes, so re-verifying a known
     /// copy is O(1) and verifying an extended or forked copy costs only
-    /// the links appended after the shared prefix (plus O(chain) hashing
-    /// and structural checks, which are cheap).
+    /// the links appended after the shared prefix. Prefix digests come
+    /// straight from the descriptor's incrementally maintained cache
+    /// (populated at creation, append, or wire decode), so there is **no**
+    /// O(chain) hash walk here — extending a memoized chain by one link
+    /// verifies with O(1) hashing and a single signature check.
     ///
     /// Returns **exactly** the same result as [`SecureDescriptor::verify`]
     /// for every input: memo entries are digests of byte-exact prefixes
     /// that passed full verification, so skipping their signatures can
     /// never change the verdict, and structural rules are re-checked over
-    /// the whole chain unconditionally. On success, every prefix digest of
-    /// this descriptor is memoized for future calls.
+    /// the whole chain unconditionally (they are hash-free comparisons; in
+    /// particular a memoized redeemed prefix can never hide an illegal
+    /// post-redemption extension). On success, every prefix digest past
+    /// the memoized one is memoized for future calls.
     ///
     /// # Errors
     ///
     /// Identical to [`SecureDescriptor::verify`].
     pub fn verify_with(&self, memo: &mut VerifyMemo) -> Result<(), DescriptorError> {
+        let n = self.chain.len();
+        let states: &[Digest] = &self.states;
+        debug_assert_eq!(states.len(), n + 1, "prefix digests out of sync");
         // Exact match: this byte content already passed full verification.
-        if memo.contains(&self.state) {
+        if memo.contains(&states[n]) {
             return Ok(());
         }
-        // Recompute the running digest at every prefix length. (Wire
-        // decoding already pays this hash walk once in `from_parts`; it is
-        // the cheap part of verification — no signature algebra.)
-        let n = self.chain.len();
-        let mut states = Vec::with_capacity(n + 1);
-        let mut st = genesis_state(&self.genesis);
-        states.push(st);
-        for link in self.chain.iter() {
-            st = next_state(&st, link);
-            states.push(st);
-        }
-        debug_assert_eq!(
-            states[n], self.state,
-            "state digest out of sync with genesis+chain"
-        );
-        // Longest memoized prefix (in links). `None` means not even the
-        // genesis is known good.
-        let verified_prefix = (0..=n).rev().find(|&i| memo.contains(&states[i]));
+        // Longest memoized prefix (in links), scanning from the tip so the
+        // extend-by-few hot path hits after a couple of lookups. `None`
+        // means not even the genesis is known good.
+        let verified_prefix = (0..n).rev().find(|&i| memo.contains(&states[i]));
         if verified_prefix.is_none() {
             let msg = genesis_message(
                 &self.genesis.creator,
@@ -490,9 +495,13 @@ impl SecureDescriptor {
             owner = link.to;
         }
         // Every prefix of a valid chain is itself a valid chain; memoize
-        // them all so extensions *and* forks hit the memo later.
-        for s in states {
-            memo.insert(s);
+        // the newly verified ones so extensions *and* forks hit the memo
+        // later. Prefixes up to the memoized one are already represented
+        // by its digest (re-inserting them would make the memoized
+        // re-verify path O(chain) again).
+        let first_new = verified_prefix.map_or(0, |i| i + 1);
+        for s in &states[first_new..] {
+            memo.insert(*s);
         }
         Ok(())
     }
@@ -785,6 +794,59 @@ mod tests {
             DescriptorError::RedemptionNotTerminal
         );
         assert_eq!(bad.verify_with(&mut memo), bad.verify());
+    }
+
+    #[test]
+    fn extend_by_one_verifies_in_constant_lookups() {
+        // The extend-by-one hot path must not walk the chain: against a
+        // warmed memo it costs exactly two memo lookups (miss on the tip,
+        // hit on the immediate prefix) regardless of chain length, and
+        // memoizes only the new tip.
+        let keys: Vec<Keypair> = (0..8).map(kp).collect();
+        for len in [1usize, 4, 16, 64] {
+            let mut d = SecureDescriptor::create(&keys[0], 0, Timestamp(0));
+            for i in 0..len {
+                d = d
+                    .transfer(&keys[i % 8], keys[(i + 1) % 8].public())
+                    .unwrap();
+            }
+            let mut memo = VerifyMemo::new(1024);
+            d.verify_with(&mut memo).unwrap();
+            let extended = d
+                .transfer(&keys[len % 8], keys[(len + 1) % 8].public())
+                .unwrap();
+            let lookups_before = memo.lookups();
+            let entries_before = memo.len();
+            extended.verify_with(&mut memo).unwrap();
+            assert_eq!(
+                memo.lookups() - lookups_before,
+                2,
+                "chain length {len}: tip miss + prefix hit, nothing else"
+            );
+            assert_eq!(
+                memo.len() - entries_before,
+                1,
+                "chain length {len}: only the new tip is memoized"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_digests_maintained_incrementally() {
+        // The cached prefix digests equal what a fresh wire decode
+        // computes, at every prefix length and through redemption.
+        let (a, b, c) = (kp(1), kp(2), kp(3));
+        let d = SecureDescriptor::create(&a, 0, Timestamp(0))
+            .transfer(&a, b.public())
+            .unwrap()
+            .transfer(&b, c.public())
+            .unwrap()
+            .redeem(&c, LinkKind::Redeem)
+            .unwrap();
+        let decoded = SecureDescriptor::from_parts(*d.genesis(), d.chain().to_vec());
+        assert_eq!(*d.states, *decoded.states);
+        assert_eq!(d.states.len(), d.chain().len() + 1);
+        assert_eq!(d.state_digest(), decoded.state_digest());
     }
 
     #[test]

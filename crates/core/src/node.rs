@@ -256,6 +256,36 @@ impl SecureCyclonNode {
         self.reserve.len()
     }
 
+    /// Read-only view of the reserve: owned descriptors waiting for a view
+    /// slot. Exposed so external invariant oracles can account for every
+    /// live token the node holds.
+    pub fn reserve(&self) -> impl Iterator<Item = &SecureDescriptor> {
+        self.reserve.iter()
+    }
+
+    /// Number of pre-transfer copies retained from failed exchanges (the
+    /// first-priority non-swappable back-fill pool, §V-A).
+    pub fn pending_ns_len(&self) -> usize {
+        self.pending_ns.len()
+    }
+
+    /// Number of pre-transfer copies remembered from successful exchanges
+    /// (the last-resort non-swappable back-fill pool).
+    pub fn transfer_history_len(&self) -> usize {
+        self.transfer_history.len()
+    }
+
+    /// Number of redeemed copies circulating in the redemption cache
+    /// (§V-C).
+    pub fn redemption_count(&self) -> usize {
+        self.redemptions.len()
+    }
+
+    /// Number of tit-for-tat sessions currently open on the passive side.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
     /// Protocol counters.
     pub fn stats(&self) -> SecureStats {
         self.stats
@@ -295,6 +325,31 @@ impl SecureCyclonNode {
         self.sponsored_cycle = Some(cycle);
         self.stats.transfers_sent += 1;
         Some(handed)
+    }
+
+    /// Accepts a sponsorship descriptor mid-run (§V-A bootstrap applied to
+    /// *rejoin*): after a long disconnection — e.g. a partition outlasting
+    /// the descriptor lifetime, which consumes every cross-side link — an
+    /// isolated node is reintroduced by redeeming a fresh descriptor some
+    /// reachable node sponsored for it (see
+    /// [`SecureCyclonNode::sponsor_join`]). Unlike
+    /// [`SecureCyclonNode::accept_bootstrap`], the descriptor goes through
+    /// the full §IV-B intake checks and is parked in the reserve when the
+    /// view is full, so an established node never discards the lifeline.
+    /// Returns whether the descriptor was kept.
+    pub fn accept_sponsorship(&mut self, desc: SecureDescriptor, cycle: u64) -> bool {
+        if desc.owner() != self.id || desc.creator() == self.id || desc.is_redeemed() {
+            return false;
+        }
+        if !self.absorb_descriptor(&desc, cycle) {
+            return false;
+        }
+        if let Some(desc) = self.view.try_insert(desc, false) {
+            if let Some(desc) = self.view.try_replace_ns_with(desc) {
+                self.push_reserve(desc);
+            }
+        }
+        true
     }
 
     /// Exports every stored violation proof (for bootstrap synchronization

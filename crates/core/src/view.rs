@@ -197,19 +197,45 @@ impl SecureView {
 
     /// Move-based variant of [`SecureView::replace_ns_with`]: returns the
     /// descriptor unchanged when no non-swappable slot matched.
+    ///
+    /// Identity care: when the incoming descriptor's identity is already
+    /// present, only the entry holding that identity may be replaced (the
+    /// retained NS copy of a descriptor now returning home). Replacing a
+    /// *different* NS entry of the same creator would leave two copies of
+    /// one token in the view — self-made cloning evidence, violating
+    /// invariant 3. This exact corner was first caught by the sc-testkit
+    /// `view-conservation` oracle under lossy-network scenarios, where a
+    /// descriptor can legally revisit a former owner while that owner
+    /// still retains NS copies of other tokens by the same creator.
     pub fn try_replace_ns_with(&mut self, desc: SecureDescriptor) -> Option<SecureDescriptor> {
         if desc.creator() == self.owner || desc.owner() != self.owner || desc.is_redeemed() {
             return Some(desc);
         }
-        let Some(entry) = self
+        let id = desc.id();
+        let same_id = self
             .entries
-            .iter_mut()
-            .find(|e| e.non_swappable && e.desc.creator() == desc.creator())
-        else {
-            return Some(desc);
+            .iter()
+            .position(|e| e.non_swappable && e.desc.id() == id);
+        let slot = match same_id {
+            Some(i) => i,
+            None => {
+                if self.contains_id(&id) {
+                    // The identity lives in a swappable slot; a second
+                    // copy must not enter the view through any path.
+                    return Some(desc);
+                }
+                match self
+                    .entries
+                    .iter()
+                    .position(|e| e.non_swappable && e.desc.creator() == desc.creator())
+                {
+                    Some(i) => i,
+                    None => return Some(desc),
+                }
+            }
         };
-        entry.desc = desc;
-        entry.non_swappable = false;
+        self.entries[slot].desc = desc;
+        self.entries[slot].non_swappable = false;
         None
     }
 
@@ -311,6 +337,50 @@ mod tests {
         v.insert(owned_desc(2, 900, &me), false);
         let e = v.remove_oldest().unwrap();
         assert!(e.non_swappable, "oldest entry may be non-swappable");
+    }
+
+    #[test]
+    fn replace_ns_never_duplicates_an_identity() {
+        // Regression (found by the sc-testkit view-conservation oracle
+        // under loss): the view retains NS copies of two tokens J and K by
+        // the same creator; token J returns to this node through a longer
+        // chain. The replacement must hit the J slot, not the K slot.
+        let me = kp(0);
+        let other = kp(9);
+        let mut v = SecureView::new(me.public(), 8);
+        let j_pre = owned_desc(1, 100, &me);
+        let k_pre = owned_desc(1, 200, &me);
+        v.insert(j_pre.clone(), true);
+        v.insert(k_pre, true);
+        // J travels me → other → me (descriptors may revisit past owners).
+        let j_back = j_pre
+            .transfer(&me, other.public())
+            .unwrap()
+            .transfer(&other, me.public())
+            .unwrap();
+        assert!(v.replace_ns_with(j_back));
+        let ids: Vec<_> = v.iter().map(|e| e.desc.id()).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "no duplicate identities");
+        assert_eq!(v.ns_count(), 1, "only the J slot was upgraded");
+
+        // And when the identity occupies a *swappable* slot, no NS entry
+        // of the same creator may be clobbered into a duplicate either.
+        let me2 = kp(0);
+        let mut v2 = SecureView::new(me2.public(), 8);
+        let l_pre = owned_desc(2, 300, &me2);
+        v2.insert(l_pre.clone(), false); // swappable copy of L
+        v2.insert(owned_desc(2, 400, &me2), true); // NS copy of M, same creator
+        let l_back = l_pre
+            .transfer(&me2, other.public())
+            .unwrap()
+            .transfer(&other, me2.public())
+            .unwrap();
+        assert!(!v2.replace_ns_with(l_back), "returned, not stored");
+        assert_eq!(v2.ns_count(), 1);
+        assert_eq!(v2.len(), 2);
     }
 
     #[test]

@@ -13,12 +13,13 @@
 //! malicious-link share, blacklist coverage, and honest-side proof count.
 
 use crate::common::{banner, results_dir, Scale};
-use sc_attacks::{
-    blacklist_coverage, build_secure_network, malicious_link_fraction, proofs_generated,
-    SecureAttack, SecureNetParams,
-};
+use sc_attacks::SecureAttack;
 use sc_core::SecureConfig;
 use sc_metrics::{save_series_csv, TimeSeries};
+use sc_testkit::{
+    blacklist_coverage, build_secure_network, malicious_link_fraction, proofs_generated,
+    SecureNetParams,
+};
 
 struct Variant {
     name: &'static str,

@@ -1,12 +1,13 @@
 //! Shared experiment machinery: scales, secure-network run loops, and
 //! result emission.
 
-use sc_attacks::{
-    blacklist_coverage, build_secure_network, eclipsed_fraction, malicious_link_fraction,
-    ns_link_fraction, SecureAttack, SecureNetParams, SecureNetwork,
-};
+use sc_attacks::SecureAttack;
 use sc_core::SecureConfig;
 use sc_metrics::TimeSeries;
+use sc_testkit::{
+    blacklist_coverage, build_secure_network, eclipsed_fraction, malicious_link_fraction,
+    ns_link_fraction, SecureNetParams, SecureNetwork,
+};
 use std::path::PathBuf;
 
 /// How big the experiments run.

@@ -14,9 +14,10 @@
 //! (cache size, malicious share) covers every age bucket.
 
 use crate::common::{banner, results_dir, Scale};
-use sc_attacks::{build_secure_network, CloneLedger, SecureAttack, SecureNetParams};
+use sc_attacks::{CloneLedger, SecureAttack};
 use sc_core::{ProofKind, SecureConfig};
 use sc_metrics::{save_series_csv, TimeSeries};
+use sc_testkit::{build_secure_network, SecureNetParams};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;

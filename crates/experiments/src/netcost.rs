@@ -12,9 +12,10 @@
 //! prints them against the paper's estimates.
 
 use crate::common::{banner, results_dir, Scale};
-use sc_attacks::{build_secure_network, SecureAttack, SecureNetParams};
+use sc_attacks::SecureAttack;
 use sc_core::{wire, SecureConfig};
 use sc_metrics::{save_histogram_csv, summarize, Histogram};
+use sc_testkit::{build_secure_network, SecureNetParams};
 
 /// Measured network-cost summary.
 #[derive(Debug)]

@@ -100,7 +100,7 @@ struct Slot<N> {
 }
 
 /// Engine construction parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SimConfig {
     /// Master seed for shuffle order and network loss rolls.
     pub seed: u64,
@@ -245,8 +245,13 @@ impl<N: SimNode> Engine<N> {
         &self.stats
     }
 
-    /// Replaces the network model (e.g. to start injecting losses at a
-    /// given cycle).
+    /// The active network model.
+    pub fn net(&self) -> &NetworkModel {
+        &self.net
+    }
+
+    /// Replaces the network model (e.g. to start injecting losses, install
+    /// a partition, or heal one at a given cycle).
     pub fn set_net(&mut self, net: NetworkModel) {
         self.net = net;
     }
@@ -303,6 +308,14 @@ impl<N: SimNode> Engine<N> {
         let batch = std::mem::take(&mut self.pending);
         for env in batch {
             self.stats.oneways_sent += 1;
+            // Partition check first: severing is deterministic and consumes
+            // no randomness (a severed message skips its loss roll, so the
+            // roll stream differs from a partition-free run — but any two
+            // runs of the same seed and schedule stay bit-identical).
+            if self.net.severs(env.from, env.to) {
+                self.stats.oneways_severed += 1;
+                continue;
+            }
             if self.net.drop_oneway > 0.0 && self.rng.gen::<f64>() < self.net.drop_oneway {
                 self.stats.oneways_dropped += 1;
                 continue;
@@ -370,6 +383,13 @@ impl<'e, N: SimNode> CycleCtx<'e, N> {
         if to == self.self_addr {
             // A node never gossips with itself; treat as unreachable.
             engine.stats.rpcs_unreachable += 1;
+            return RpcOutcome::Timeout;
+        }
+        // A partition severs the round trip outright: the request never
+        // reaches the target (symmetric, so the response could not return
+        // either). Checked before any loss roll — see `deliver_pending`.
+        if engine.net.severs(self.self_addr, to) {
+            engine.stats.rpcs_severed += 1;
             return RpcOutcome::Timeout;
         }
         if engine.net.drop_request > 0.0 && engine.rng.gen::<f64>() < engine.net.drop_request {
@@ -603,6 +623,135 @@ mod tests {
         assert_eq!(eng.stats().rpcs_completed, 0);
         let total: u32 = eng.nodes().map(|(_, n)| n.replies_got).sum();
         assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn zero_loss_is_exact() {
+        // p = 0.0 must never drop anything, not merely "rarely".
+        let mut eng = Engine::<Toy>::new(SimConfig {
+            seed: 11,
+            net: NetworkModel::lossy(0.0),
+            ..Default::default()
+        });
+        for _ in 0..8 {
+            eng.spawn_with(|addr| Toy {
+                addr,
+                n: 8,
+                pings_answered: 0,
+                oneways_got: 0,
+                replies_got: 0,
+            });
+        }
+        eng.run_cycles(10);
+        assert_eq!(eng.stats().rpcs_request_dropped, 0);
+        assert_eq!(eng.stats().rpcs_response_dropped, 0);
+        assert_eq!(eng.stats().oneways_dropped, 0);
+        assert_eq!(eng.stats().rpcs_completed, 8 * 10);
+    }
+
+    #[test]
+    fn total_loss_is_exact() {
+        // p = 1.0 must drop every request (rng.gen::<f64>() ∈ [0, 1)).
+        let mut eng = Engine::<Toy>::new(SimConfig {
+            seed: 11,
+            net: NetworkModel::lossy(1.0),
+            ..Default::default()
+        });
+        for _ in 0..8 {
+            eng.spawn_with(|addr| Toy {
+                addr,
+                n: 8,
+                pings_answered: 0,
+                oneways_got: 0,
+                replies_got: 0,
+            });
+        }
+        eng.run_cycles(10);
+        assert_eq!(eng.stats().rpcs_completed, 0);
+        assert_eq!(eng.stats().rpcs_request_dropped, 8 * 10);
+        assert_eq!(eng.stats().oneways_delivered, 0);
+    }
+
+    #[test]
+    fn drop_decisions_deterministic_across_runs() {
+        // Two identical runs under partial loss make bit-identical drop
+        // decisions: same per-message outcomes, same counters.
+        let run = |seed: u64| {
+            let mut eng = Engine::<Toy>::new(SimConfig {
+                seed,
+                net: NetworkModel::lossy(0.37),
+                ..Default::default()
+            });
+            for _ in 0..12 {
+                eng.spawn_with(|addr| Toy {
+                    addr,
+                    n: 12,
+                    pings_answered: 0,
+                    oneways_got: 0,
+                    replies_got: 0,
+                });
+            }
+            eng.run_cycles(25);
+            let per_node: Vec<_> = eng
+                .nodes()
+                .map(|(_, n)| (n.pings_answered, n.replies_got, n.oneways_got))
+                .collect();
+            (*eng.stats(), per_node)
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).0, run(100).0, "different seeds roll differently");
+    }
+
+    #[test]
+    fn partition_severs_both_directions_then_heals() {
+        use crate::net::Partition;
+        // Ring of 4; isolate {1, 2}. Node 0 pings 1 (cross), 1 pings 2
+        // (intra), 2 pings 3 (cross), 3 pings 0 (intra).
+        let mut eng = build(4, 5);
+        eng.set_net(NetworkModel::reliable().with_partition(Partition::isolate([1, 2])));
+        eng.run_cycle();
+        assert_eq!(eng.stats().rpcs_severed, 2, "both cross-side RPCs cut");
+        assert_eq!(eng.stats().rpcs_completed, 2, "intra-side RPCs unharmed");
+        // One-way notices to node 0 from the island side are severed too.
+        eng.run_cycle();
+        assert_eq!(eng.stats().oneways_severed, 1, "notice from island cut");
+        // Heal: traffic resumes without reseeding or respawning anything.
+        let healed = eng.net().clone().healed();
+        eng.set_net(healed);
+        let before = eng.stats().rpcs_completed;
+        eng.run_cycle();
+        assert_eq!(eng.stats().rpcs_completed, before + 4);
+    }
+
+    #[test]
+    fn partition_consumes_no_randomness() {
+        // Severed messages skip their loss roll entirely; the observable
+        // contract is reproducibility — two runs with the same seed and
+        // the same partition schedule agree exactly, even with loss
+        // rolls and severs interleaving.
+        use crate::net::Partition;
+        let run = || {
+            let mut eng = Engine::<Toy>::new(SimConfig {
+                seed: 3,
+                net: NetworkModel::lossy(0.5).with_partition(Partition::isolate([0, 1])),
+                ..Default::default()
+            });
+            for _ in 0..6 {
+                eng.spawn_with(|addr| Toy {
+                    addr,
+                    n: 6,
+                    pings_answered: 0,
+                    oneways_got: 0,
+                    replies_got: 0,
+                });
+            }
+            eng.run_cycles(20);
+            *eng.stats()
+        };
+        let s = run();
+        assert_eq!(s, run());
+        assert!(s.rpcs_severed > 0);
+        assert!(s.rpcs_request_dropped > 0);
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //!   queued one-way delivery (for proof flooding) at one hop per cycle.
 //! * [`SimNode`] — the trait protocol nodes implement (active thread, RPC
 //!   server, datagram handler).
-//! * [`NetworkModel`] — per-direction message-loss probabilities.
+//! * [`NetworkModel`] — per-direction message-loss probabilities, plus
+//!   deterministic [`Partition`]s with heal support.
 //! * [`Churn`] — rate-based join/leave/fail driver.
 //! * [`rng`] — deterministic seed derivation so whole experiments replay
 //!   from one `u64`.
@@ -50,5 +51,5 @@ pub mod stats;
 pub use churn::{Churn, ChurnConfig, ChurnReport};
 pub use clock::{Clock, DEFAULT_TICKS_PER_CYCLE};
 pub use engine::{testkit, Addr, CycleCtx, Engine, NodeCtx, RpcOutcome, SimConfig, SimNode};
-pub use net::NetworkModel;
+pub use net::{NetworkModel, Partition};
 pub use stats::TrafficStats;

@@ -18,6 +18,8 @@ pub struct TrafficStats {
     pub rpcs_response_dropped: u64,
     /// RPCs the target processed but declined to answer.
     pub rpcs_refused: u64,
+    /// RPCs severed by an active partition (never reached the target).
+    pub rpcs_severed: u64,
     /// One-way messages queued for delivery.
     pub oneways_sent: u64,
     /// One-way messages delivered to a handler.
@@ -26,6 +28,8 @@ pub struct TrafficStats {
     pub oneways_dropped: u64,
     /// One-way messages addressed to dead nodes.
     pub oneways_to_dead: u64,
+    /// One-way messages severed by an active partition.
+    pub oneways_severed: u64,
 }
 
 impl TrafficStats {

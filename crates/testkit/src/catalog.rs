@@ -1,0 +1,178 @@
+//! The standard scenario matrix.
+//!
+//! Twelve scenarios × three seeds = 36 deterministic combinations,
+//! covering the paper's adversity axes: message loss (uniform and
+//! asymmetric), partitions with heal, churn, catastrophic failure, every
+//! `sc-attacks` strategy, and compositions thereof. `quick` mode shrinks
+//! populations and horizons for CI while keeping every scenario and every
+//! oracle in play.
+
+use crate::scenario::{AdversaryKind, OracleConfig, Scenario};
+
+/// Seeds every scenario is swept under.
+pub const MATRIX_SEEDS: [u64; 3] = [1, 2, 3];
+
+/// Relative sizing for a matrix sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatrixSize {
+    /// Honest+malicious population of the standard scenario.
+    pub n: usize,
+    /// Run length of the standard scenario.
+    pub cycles: u64,
+}
+
+impl MatrixSize {
+    /// Full-fidelity sizing (local runs, nightly CI).
+    pub fn full() -> Self {
+        MatrixSize { n: 96, cycles: 80 }
+    }
+
+    /// CI sizing: same scenarios, same oracles, smaller and shorter.
+    pub fn quick() -> Self {
+        MatrixSize { n: 48, cycles: 40 }
+    }
+}
+
+/// Oracles for honest-only scenarios: everything that is unconditionally
+/// sound, including global unique ownership.
+fn honest_oracles(size: MatrixSize, min_fill: Option<f64>) -> OracleConfig {
+    OracleConfig {
+        warmup: size.cycles / 2,
+        unique_ownership: true,
+        max_indegree: Some(4 * 8), // 4×ℓ with the matrix's ℓ = 8
+        final_connectivity: Some(1.0),
+        final_min_fill: min_fill,
+        ..OracleConfig::default()
+    }
+}
+
+/// Oracles for attack scenarios: detection replaces unique ownership
+/// (cloning adversaries violate it by design until they are caught).
+fn attack_oracles(size: MatrixSize, coverage_floor: f64) -> OracleConfig {
+    OracleConfig {
+        warmup: size.cycles / 2,
+        expect_detection: Some(coverage_floor),
+        final_connectivity: Some(1.0),
+        ..OracleConfig::default()
+    }
+}
+
+/// Builds the standard scenario matrix at the given size.
+pub fn standard_matrix(size: MatrixSize) -> Vec<Scenario> {
+    let n = size.n;
+    let cycles = size.cycles;
+    let byz = n / 12; // ~8% Byzantine where an adversary is present
+    let attack_start = cycles / 8;
+    let mid = cycles / 3;
+    let heal = 2 * cycles / 3;
+
+    vec![
+        // -- honest baselines over the fault axes ----------------------
+        Scenario::new("honest-reliable", n)
+            .cycles(cycles)
+            .oracles(honest_oracles(size, Some(0.7))),
+        Scenario::new("honest-lossy-10", n)
+            .cycles(cycles)
+            .lossy(0.10)
+            .oracles(honest_oracles(size, Some(0.6))),
+        Scenario::new("honest-asymmetric-loss", n)
+            .cycles(cycles)
+            .asymmetric_loss(0.15, 0.05, 0.10)
+            // The congestion clears late in the run: the loss-regime
+            // change exercises `set_loss_at`, and recovery must follow.
+            .set_loss_at(heal, (0.0, 0.0, 0.0))
+            .oracles(honest_oracles(size, Some(0.6))),
+        Scenario::new("honest-partition-heal", n)
+            .cycles(cycles)
+            .partition_at(mid, 1.0 / 3.0)
+            .heal_at(heal)
+            .oracles(honest_oracles(size, Some(0.5))),
+        Scenario::new("honest-churn", n)
+            .cycles(cycles)
+            .churn(mid / 2, heal, 0.02, 1.0)
+            .oracles(honest_oracles(size, Some(0.5))),
+        Scenario::new("honest-mass-failure", n)
+            .cycles(cycles)
+            .kill_at(mid, 0.3)
+            .oracles(honest_oracles(size, Some(0.5))),
+        // -- each adversary through the real engine --------------------
+        Scenario::new("hub-attack", n)
+            .cycles(cycles)
+            .adversary(byz, AdversaryKind::Hub, attack_start)
+            .oracles(attack_oracles(size, 0.9)),
+        Scenario::new("cloning-attack", n)
+            .cycles(cycles)
+            .adversary(byz, AdversaryKind::Cloner { target_age: 3 }, attack_start)
+            .oracles(attack_oracles(size, 0.2)),
+        Scenario::new("frequency-attack", n)
+            .cycles(cycles)
+            .adversary(
+                byz.min(4),
+                AdversaryKind::Frequency { extra: 2 },
+                attack_start,
+            )
+            .oracles(attack_oracles(size, 0.8)),
+        Scenario::new("depletion-attack", n)
+            .cycles(cycles)
+            .adversary(byz, AdversaryKind::Depletion, attack_start)
+            // Depletion never clones, so nothing is provable; the oracle
+            // load here is structural: views stay legal, nobody honest is
+            // accused, and the overlay survives connected.
+            .oracles(OracleConfig {
+                warmup: cycles / 2,
+                final_connectivity: Some(1.0),
+                ..OracleConfig::default()
+            }),
+        // -- compositions ----------------------------------------------
+        Scenario::new("partition-cloning", n)
+            .cycles(cycles)
+            .adversary(byz, AdversaryKind::Cloner { target_age: 3 }, attack_start)
+            .partition_at(mid, 0.25)
+            .heal_at(heal)
+            .oracles(attack_oracles(size, 0.1)),
+        Scenario::new("lossy-churn-hub", n)
+            .cycles(cycles)
+            .adversary(byz, AdversaryKind::Hub, attack_start)
+            .lossy(0.05)
+            .churn(mid / 2, heal, 0.01, 0.5)
+            // Loss, churn, and an active adversary composed can strand the
+            // odd orphan whose every link died; tolerate a small residue.
+            .oracles(OracleConfig {
+                final_connectivity: Some(0.9),
+                ..attack_oracles(size, 0.7)
+            }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_meets_the_thirty_combination_floor() {
+        for size in [MatrixSize::quick(), MatrixSize::full()] {
+            let scenarios = standard_matrix(size);
+            assert!(scenarios.len() * MATRIX_SEEDS.len() >= 30);
+            // Names are unique (they are the replay filter key).
+            let mut names: Vec<_> = scenarios.iter().map(|s| s.name.clone()).collect();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), scenarios.len());
+        }
+    }
+
+    #[test]
+    fn matrix_covers_the_required_axes() {
+        let scenarios = standard_matrix(MatrixSize::quick());
+        assert!(scenarios
+            .iter()
+            .any(|s| s.has_partition() && s.n_malicious == 0));
+        assert!(scenarios
+            .iter()
+            .any(|s| matches!(s.adversary, AdversaryKind::Cloner { .. })));
+        assert!(scenarios.iter().any(|s| s.churn.is_some()));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.n_malicious > 0 && (s.has_partition() || s.churn.is_some())));
+    }
+}

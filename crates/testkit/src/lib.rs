@@ -1,0 +1,58 @@
+//! # sc-testkit — deterministic adversarial scenario harness
+//!
+//! The paper's evaluation (§VI) and its security argument (§IV–V) only
+//! hold *under adversity*: churn, asymmetric message loss, partitions,
+//! and Byzantine fractions. This crate turns each of those claims into a
+//! reproducible, seed-replayable test, FoundationDB-style:
+//!
+//! * [`net`] — the mixed honest/malicious network builder (moved here
+//!   from `sc-attacks` so adversaries, experiments, and scenarios all run
+//!   on the one real `sc-sim` engine), plus sponsored joins for churn and
+//!   the metric helpers behind the paper's figures.
+//! * [`scenario`] — the declarative [`Scenario`] builder composing loss,
+//!   [partitions and heal events](sc_sim::Partition), churn windows,
+//!   catastrophic failures, and `sc-attacks` adversaries.
+//! * [`oracles`] — protocol invariants checked every cycle (unique live
+//!   ownership, bounded in-degree, blacklist monotonicity + no false
+//!   accusations, view conservation) and at run end (post-heal
+//!   convergence, eventual adversary detection). The first violation
+//!   reports scenario, seed, and cycle, and prints the one-command
+//!   replay.
+//! * [`runner`] — deterministic execution of a `(Scenario, seed)` pair.
+//! * [`catalog`] — the standard ~36-combination scenario matrix swept by
+//!   `tests/scenario_matrix.rs`, with a `quick` sizing for CI.
+//!
+//! # Example
+//!
+//! ```
+//! use sc_testkit::{run_scenario, AdversaryKind, Scenario};
+//!
+//! let scenario = Scenario::new("doc-hub", 48)
+//!     .cycles(40)
+//!     .adversary(4, AdversaryKind::Hub, 5)
+//!     .oracles(sc_testkit::OracleConfig {
+//!         expect_detection: Some(0.9),
+//!         final_connectivity: Some(1.0),
+//!         ..Default::default()
+//!     });
+//! let summary = run_scenario(&scenario, 1).expect("oracles hold");
+//! assert!(summary.proofs.0 > 0, "cloning was proven");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod net;
+pub mod oracles;
+pub mod runner;
+pub mod scenario;
+
+pub use catalog::{standard_matrix, MatrixSize, MATRIX_SEEDS};
+pub use net::{
+    blacklist_coverage, build_secure_network, eclipsed_fraction, malicious_link_fraction,
+    ns_link_fraction, proofs_generated, SecureNet, SecureNetParams, SecureNetwork,
+};
+pub use oracles::{largest_honest_component, OracleSuite, Violation};
+pub use runner::{run_scenario, RunSummary};
+pub use scenario::{AdversaryKind, ChurnWindow, Event, OracleConfig, Scenario};

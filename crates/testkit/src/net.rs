@@ -1,9 +1,15 @@
-//! Mixed honest/malicious SecureCyclon networks: node enum, builder, and
-//! the measurement helpers behind every attack figure.
+//! Mixed honest/malicious SecureCyclon networks on the real simulation
+//! engine: node enum, builder, sponsored joins, and the measurement
+//! helpers behind every attack figure.
+//!
+//! This module used to live in `sc-attacks` (as its `net` module, easily
+//! confused with `sc-sim`'s fault model of the same name). It moved here
+//! so that attack strategies, fault scenarios, and invariant oracles all
+//! drive one engine path — `sc-attacks` now contains only the adversary
+//! implementations themselves.
 
-use crate::malicious::{MaliciousSecureNode, SecureAttack};
-use crate::party::SecureParty;
 use rand::seq::SliceRandom;
+use sc_attacks::{MaliciousSecureNode, SecureAttack, SecureParty};
 use sc_core::{default_phase, ring_bootstrap, SecureConfig, SecureCyclonNode, SecureMsg};
 use sc_crypto::{Keypair, NodeId, Scheme};
 use sc_sim::{Addr, CycleCtx, Engine, NetworkModel, NodeCtx, SimConfig, SimNode};
@@ -113,6 +119,93 @@ pub struct SecureNetwork {
     pub malicious_addrs: HashSet<Addr>,
     /// The shared party state.
     pub party: Rc<RefCell<SecureParty>>,
+    /// Protocol configuration honest nodes were built with (joiners reuse
+    /// it).
+    pub cfg: SecureConfig,
+    /// Signature scheme all identities use.
+    pub scheme: Scheme,
+    /// Master seed the network was derived from.
+    pub seed: u64,
+    /// Number of joiners spawned so far (joiner key derivation counter).
+    joiners: u64,
+}
+
+impl SecureNetwork {
+    /// Spawns a fresh honest node and bootstraps it through a legal
+    /// sponsorship (§V-A): `sponsor` — an alive honest node — spends its
+    /// current cycle's fresh-descriptor budget on a descriptor transferred
+    /// to the joiner, and hands over its stored violation proofs so the
+    /// newcomer knows the already-discovered violators. Returns the new
+    /// address, or `None` if the sponsor is unavailable or already spent
+    /// this cycle's budget.
+    pub fn join_via(&mut self, sponsor: Addr) -> Option<Addr> {
+        let cycle = self.engine.cycle();
+        let now = self.engine.clock().now();
+        let keypair = Keypair::from_seed(
+            self.scheme,
+            sc_sim::rng::derive_seed(self.seed, "joiner", self.joiners),
+        );
+        let rng_seed = sc_sim::rng::derive_seed(self.seed, "joiner-rng", self.joiners);
+        let joiner_id = keypair.public();
+
+        let Some(SecureNet::Honest(sponsor_node)) = self.engine.node_mut(sponsor) else {
+            return None;
+        };
+        let desc = sponsor_node.sponsor_join(joiner_id, cycle, now)?;
+        let proofs = sponsor_node.export_proofs();
+
+        self.joiners += 1;
+        let phase = default_phase(self.joiners as usize, self.cfg.ticks_per_cycle);
+        let cfg = self.cfg;
+        let addr = self.engine.spawn_with(|addr| {
+            let mut node = SecureCyclonNode::new(keypair, addr, cfg, rng_seed, phase);
+            node.accept_bootstrap(desc);
+            node.import_proofs(proofs, cycle);
+            SecureNet::Honest(Box::new(node))
+        });
+        Some(addr)
+    }
+
+    /// Like [`SecureNetwork::join_via`], trying alive honest sponsors in
+    /// the order produced by `candidates` until one accepts.
+    pub fn join_via_any(&mut self, candidates: impl IntoIterator<Item = Addr>) -> Option<Addr> {
+        for sponsor in candidates {
+            if let Some(addr) = self.join_via(sponsor) {
+                return Some(addr);
+            }
+        }
+        None
+    }
+
+    /// Reintroduces an *existing* honest node through a sponsorship
+    /// (§V-A bootstrap applied to rejoin): `sponsor` spends its cycle's
+    /// fresh-descriptor budget on a descriptor transferred to `node`,
+    /// giving the pair a live link again. This is the protocol-level
+    /// equivalent of a bootstrap-server reconnect after a partition that
+    /// outlived the descriptor lifetime — once a few such links exist,
+    /// ordinary gossip re-knits the segments. Returns whether the
+    /// descriptor was minted *and* kept.
+    pub fn reintroduce(&mut self, node: Addr, sponsor: Addr) -> bool {
+        if node == sponsor {
+            return false;
+        }
+        let cycle = self.engine.cycle();
+        let now = self.engine.clock().now();
+        let Some(SecureNet::Honest(target)) = self.engine.node(node) else {
+            return false;
+        };
+        let target_id = target.id();
+        let Some(SecureNet::Honest(sponsor_node)) = self.engine.node_mut(sponsor) else {
+            return false;
+        };
+        let Some(desc) = sponsor_node.sponsor_join(target_id, cycle, now) else {
+            return false;
+        };
+        let Some(SecureNet::Honest(target)) = self.engine.node_mut(node) else {
+            return false;
+        };
+        target.accept_sponsorship(desc, cycle)
+    }
 }
 
 /// Builds a bootstrapped mixed network: `n` nodes, of which a random
@@ -207,6 +300,10 @@ pub fn build_secure_network(params: SecureNetParams) -> SecureNetwork {
         malicious_ids,
         malicious_addrs,
         party,
+        cfg,
+        scheme,
+        seed,
+        joiners: 0,
     }
 }
 

@@ -1,0 +1,386 @@
+//! Protocol invariant oracles.
+//!
+//! Each oracle is a predicate over the whole network state, checked after
+//! every cycle (or once at the end of a run). The first violation aborts
+//! the run with a [`Violation`] that names the scenario, seed, and cycle —
+//! and, because scenarios are deterministic, re-running with that seed
+//! reproduces the failure bit-for-bit. This is the Honeybee/FoundationDB
+//! posture: verifiability as an invariant checked continuously, not a
+//! property asserted once at the end.
+
+use crate::net::{blacklist_coverage, proofs_generated, SecureNetwork};
+use crate::scenario::{OracleConfig, Scenario};
+use sc_core::DescriptorId;
+use sc_crypto::NodeId;
+use sc_sim::Addr;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A failed invariant, with everything needed to reproduce it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Scenario name.
+    pub scenario: String,
+    /// Master seed of the failing run.
+    pub seed: u64,
+    /// Absolute engine cycle at which the oracle tripped (`u64::MAX` is
+    /// never used; end-of-run oracles report the final cycle).
+    pub cycle: u64,
+    /// Name of the violated oracle.
+    pub oracle: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "oracle '{}' violated in scenario '{}' (seed {}, cycle {}): {}\n  replay: \
+             SC_SCENARIO='{}' SC_SEED={} cargo test --test scenario_matrix -- --nocapture",
+            self.oracle,
+            self.scenario,
+            self.seed,
+            self.cycle,
+            self.detail,
+            self.scenario,
+            self.seed
+        )
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Stateful oracle suite for one run.
+///
+/// Holds the cross-cycle state some oracles need (previous blacklists for
+/// monotonicity) and the scenario's thresholds.
+pub struct OracleSuite {
+    scenario: String,
+    seed: u64,
+    cfg: OracleConfig,
+    view_len: usize,
+    /// Previous cycle's blacklist per address (addresses are never
+    /// reused, so churn cannot alias entries).
+    prev_blacklists: HashMap<Addr, HashSet<NodeId>>,
+    /// Every honest identity ever observed alive — so accusing an honest
+    /// node is caught even after churn removed the victim.
+    honest_ever: HashSet<NodeId>,
+}
+
+impl OracleSuite {
+    /// Creates the suite for one `(scenario, seed)` run.
+    pub fn new(scenario: &Scenario, seed: u64) -> Self {
+        OracleSuite {
+            scenario: scenario.name.clone(),
+            seed,
+            cfg: scenario.oracles,
+            view_len: scenario.cfg.view_len,
+            prev_blacklists: HashMap::new(),
+            honest_ever: HashSet::new(),
+        }
+    }
+
+    fn violation(&self, cycle: u64, oracle: &'static str, detail: String) -> Violation {
+        Violation {
+            scenario: self.scenario.clone(),
+            seed: self.seed,
+            cycle,
+            oracle,
+            detail,
+        }
+    }
+
+    /// Runs every enabled per-cycle oracle. `step` is the 0-based run
+    /// step; the reported cycle is the absolute engine cycle.
+    pub fn check_cycle(&mut self, net: &SecureNetwork, step: u64) -> Result<(), Violation> {
+        let cycle = net.engine.cycle();
+        if self.cfg.view_invariants {
+            self.check_view_invariants(net, cycle)?;
+        }
+        if self.cfg.unique_ownership {
+            self.check_unique_ownership(net, cycle)?;
+        }
+        if self.cfg.blacklist_monotone {
+            self.check_blacklists(net, cycle)?;
+        }
+        if let Some(bound) = self.cfg.max_indegree {
+            if step >= self.cfg.warmup {
+                self.check_indegree(net, cycle, bound)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-view structural invariants: capacity, ownership, no duplicate
+    /// identities, non-swappable accounting.
+    fn check_view_invariants(&self, net: &SecureNetwork, cycle: u64) -> Result<(), Violation> {
+        for (addr, node) in net.engine.nodes() {
+            let Some(h) = node.honest() else { continue };
+            let v = h.view();
+            if v.len() > self.view_len {
+                return Err(self.violation(
+                    cycle,
+                    "view-conservation",
+                    format!("node {addr}: view holds {} > ℓ={}", v.len(), self.view_len),
+                ));
+            }
+            let mut ids = HashSet::new();
+            for e in v.iter() {
+                if e.desc.creator() == h.id() {
+                    return Err(self.violation(
+                        cycle,
+                        "view-conservation",
+                        format!("node {addr}: self-link in view"),
+                    ));
+                }
+                if e.desc.owner() != h.id() {
+                    return Err(self.violation(
+                        cycle,
+                        "view-conservation",
+                        format!("node {addr}: view entry not owned by the node"),
+                    ));
+                }
+                if e.desc.is_redeemed() {
+                    return Err(self.violation(
+                        cycle,
+                        "view-conservation",
+                        format!("node {addr}: redeemed descriptor in view"),
+                    ));
+                }
+                if !ids.insert(e.desc.id()) {
+                    return Err(self.violation(
+                        cycle,
+                        "view-conservation",
+                        format!("node {addr}: duplicate descriptor identity in view"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// No descriptor identity is live-owned by two honest nodes at once.
+    /// "Live-owned" counts swappable view entries and reserve entries;
+    /// non-swappable entries are §V-A retained copies and legitimately
+    /// coexist with the real owner's copy.
+    fn check_unique_ownership(&self, net: &SecureNetwork, cycle: u64) -> Result<(), Violation> {
+        let mut owners: HashMap<DescriptorId, Addr> = HashMap::new();
+        for (addr, node) in net.engine.nodes() {
+            let Some(h) = node.honest() else { continue };
+            let swappable = h
+                .view()
+                .iter()
+                .filter(|e| !e.non_swappable)
+                .map(|e| &e.desc);
+            for d in swappable.chain(h.reserve()) {
+                if let Some(prev) = owners.insert(d.id(), addr) {
+                    return Err(self.violation(
+                        cycle,
+                        "unique-ownership",
+                        format!(
+                            "descriptor {:?} live-owned by nodes {prev} and {addr}",
+                            d.id()
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Honest blacklists only grow, and never contain honest identities
+    /// (no false accusations — message loss and partitions are not
+    /// violations, §V-A).
+    fn check_blacklists(&mut self, net: &SecureNetwork, cycle: u64) -> Result<(), Violation> {
+        self.honest_ever.extend(
+            net.engine
+                .nodes()
+                .filter_map(|(_, n)| n.honest().map(|h| h.id())),
+        );
+        for (addr, node) in net.engine.nodes() {
+            let Some(h) = node.honest() else { continue };
+            let current: HashSet<NodeId> = h.blacklist().culprits().copied().collect();
+            for id in &current {
+                if self.honest_ever.contains(id) && !net.malicious_ids.contains(id) {
+                    return Err(self.violation(
+                        cycle,
+                        "blacklist-monotone",
+                        format!("node {addr} blacklisted an honest node"),
+                    ));
+                }
+            }
+            if let Some(prev) = self.prev_blacklists.get(&addr) {
+                if !prev.is_subset(&current) {
+                    return Err(self.violation(
+                        cycle,
+                        "blacklist-monotone",
+                        format!(
+                            "node {addr}: blacklist shrank from {} to {} entries",
+                            prev.len(),
+                            current.len()
+                        ),
+                    ));
+                }
+            }
+            self.prev_blacklists.insert(addr, current);
+        }
+        Ok(())
+    }
+
+    /// In-degree of honest creators across honest views stays within the
+    /// paper's bounds (descriptors are conserved tokens, so no honest node
+    /// can be over-represented).
+    fn check_indegree(
+        &self,
+        net: &SecureNetwork,
+        cycle: u64,
+        bound: usize,
+    ) -> Result<(), Violation> {
+        let mut indegree: HashMap<NodeId, usize> = HashMap::new();
+        for (_, node) in net.engine.nodes() {
+            let Some(h) = node.honest() else { continue };
+            for e in h.view().iter() {
+                let creator = e.desc.creator();
+                if !net.malicious_ids.contains(&creator) {
+                    *indegree.entry(creator).or_default() += 1;
+                }
+            }
+        }
+        if let Some((_, &max)) = indegree.iter().max_by_key(|(_, &c)| c) {
+            if max > bound {
+                return Err(self.violation(
+                    cycle,
+                    "indegree-bounded",
+                    format!("honest in-degree {max} exceeds bound {bound}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the end-of-run oracles.
+    pub fn check_final(&self, net: &SecureNetwork) -> Result<(), Violation> {
+        let cycle = net.engine.cycle();
+        if let Some(floor) = self.cfg.final_connectivity {
+            let (component, honest_alive) = largest_honest_component(net);
+            if (component as f64) < floor * honest_alive as f64 {
+                return Err(self.violation(
+                    cycle,
+                    "convergence",
+                    format!(
+                        "honest overlay fragmented: largest component {component} of \
+                         {honest_alive} alive honest nodes (floor {floor})"
+                    ),
+                ));
+            }
+        }
+        if let Some(floor) = self.cfg.final_min_fill {
+            let (len_sum, honest) = net
+                .engine
+                .nodes()
+                .filter_map(|(_, n)| n.honest())
+                .fold((0usize, 0usize), |(l, c), h| (l + h.view().len(), c + 1));
+            let avg = if honest == 0 {
+                0.0
+            } else {
+                len_sum as f64 / honest as f64
+            };
+            if avg < floor * self.view_len as f64 {
+                return Err(self.violation(
+                    cycle,
+                    "convergence",
+                    format!(
+                        "average honest view fill {avg:.2} below floor {:.2}",
+                        floor * self.view_len as f64
+                    ),
+                ));
+            }
+        }
+        if let Some(coverage_floor) = self.cfg.expect_detection {
+            let (cloning, frequency) = proofs_generated(&net.engine);
+            if cloning + frequency == 0 {
+                return Err(self.violation(
+                    cycle,
+                    "eventual-detection",
+                    "adversary active but no violation was ever proven".to_string(),
+                ));
+            }
+            let coverage = blacklist_coverage(&net.engine, &net.malicious_ids);
+            if coverage < coverage_floor {
+                return Err(self.violation(
+                    cycle,
+                    "eventual-detection",
+                    format!("blacklist coverage {coverage:.3} below floor {coverage_floor}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `(largest weakly-connected component, alive honest count)` over the
+/// honest overlay: edges follow view entries between alive honest nodes
+/// in either direction.
+pub fn largest_honest_component(net: &SecureNetwork) -> (usize, usize) {
+    let honest: Vec<Addr> = net
+        .engine
+        .nodes()
+        .filter(|(_, n)| !n.is_malicious())
+        .map(|(a, _)| a)
+        .collect();
+    let honest_set: HashSet<Addr> = honest.iter().copied().collect();
+    // Undirected adjacency over honest view links.
+    let mut adj: HashMap<Addr, Vec<Addr>> = HashMap::new();
+    for &a in &honest {
+        let Some(h) = net.engine.node(a).and_then(|n| n.honest()) else {
+            continue;
+        };
+        for e in h.view().iter() {
+            let b = e.desc.addr();
+            if b != a && honest_set.contains(&b) {
+                adj.entry(a).or_default().push(b);
+                adj.entry(b).or_default().push(a);
+            }
+        }
+    }
+    let mut seen: HashSet<Addr> = HashSet::new();
+    let mut best = 0;
+    for &start in &honest {
+        if !seen.insert(start) {
+            continue;
+        }
+        let mut size = 0;
+        let mut queue = VecDeque::from([start]);
+        while let Some(a) = queue.pop_front() {
+            size += 1;
+            for &b in adj.get(&a).into_iter().flatten() {
+                if seen.insert(b) {
+                    queue.push_back(b);
+                }
+            }
+        }
+        best = best.max(size);
+    }
+    (best, honest.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_display_carries_replay_command() {
+        let v = Violation {
+            scenario: "honest-partition-heal".into(),
+            seed: 42,
+            cycle: 37,
+            oracle: "convergence",
+            detail: "fragmented".into(),
+        };
+        let msg = v.to_string();
+        assert!(msg.contains("SC_SCENARIO='honest-partition-heal'"));
+        assert!(msg.contains("SC_SEED=42"));
+        assert!(msg.contains("cycle 37"));
+        assert!(msg.contains("scenario_matrix"));
+    }
+}

@@ -1,0 +1,331 @@
+//! Declarative adversarial scenarios.
+//!
+//! A [`Scenario`] composes everything the paper's evaluation (§VI) and
+//! security argument (§IV–V) assume can go wrong at once: per-direction
+//! message loss, network partitions with scheduled heal events, membership
+//! churn, catastrophic failures, and a Byzantine fraction running one of
+//! the `sc-attacks` strategies. Scenarios are pure descriptions — a
+//! `(Scenario, seed)` pair replays bit-for-bit through
+//! [`crate::run_scenario`], which is what makes every oracle violation a
+//! one-command reproduction.
+
+use sc_attacks::SecureAttack;
+use sc_core::SecureConfig;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Which adversary the Byzantine fraction runs.
+///
+/// Mirrors [`SecureAttack`] minus run-scoped state (the cloner's shared
+/// ledger is created per run by the runner), so scenario catalogs stay
+/// plain data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdversaryKind {
+    /// No deviation (control group / honest-only scenarios).
+    None,
+    /// Hub attack: all-malicious views via pool cloning (Figure 5).
+    Hub,
+    /// Link depletion: empty exchange responses (Figure 6).
+    Depletion,
+    /// Age-targeted double-spend at the given age in cycles (Figure 7).
+    Cloner {
+        /// Clone a held descriptor once it reaches this age.
+        target_age: u64,
+    },
+    /// Frequency violation: extra descriptor creations per cycle.
+    Frequency {
+        /// Additional creations beyond the legal one.
+        extra: u32,
+    },
+}
+
+impl AdversaryKind {
+    /// Materializes the run-time attack strategy, returning the cloner's
+    /// event ledger when one is involved.
+    pub fn materialize(self) -> (SecureAttack, Option<Rc<RefCell<sc_attacks::CloneLedger>>>) {
+        match self {
+            AdversaryKind::None => (SecureAttack::None, None),
+            AdversaryKind::Hub => (SecureAttack::Hub, None),
+            AdversaryKind::Depletion => (SecureAttack::Depletion, None),
+            AdversaryKind::Cloner { target_age } => {
+                let ledger = Rc::new(RefCell::new(sc_attacks::CloneLedger::new()));
+                (
+                    SecureAttack::Cloner {
+                        target_age,
+                        ledger: Rc::clone(&ledger),
+                    },
+                    Some(ledger),
+                )
+            }
+            AdversaryKind::Frequency { extra } => (SecureAttack::Frequency { extra }, None),
+        }
+    }
+}
+
+/// A scheduled fault injection, keyed by run step (0-based cycle index
+/// relative to the start of the run, *not* the absolute engine cycle).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// Partition the network: a random `island_frac` of the alive nodes is
+    /// severed from the rest (joiners land on the mainland side).
+    Partition {
+        /// Step at which the partition is installed.
+        step: u64,
+        /// Fraction of alive nodes moved to the island side.
+        island_frac: f64,
+    },
+    /// Heal any active partition.
+    Heal {
+        /// Step at which the partition is removed.
+        step: u64,
+    },
+    /// Replace the loss model (partition state is preserved).
+    SetLoss {
+        /// Step at which the new rates apply.
+        step: u64,
+        /// New per-direction drop probabilities
+        /// `(request, response, oneway)`.
+        rates: (f64, f64, f64),
+    },
+    /// Kill a random batch of alive nodes at once (mass failure).
+    Kill {
+        /// Step at which the failure strikes.
+        step: u64,
+        /// Fraction of alive nodes crashed.
+        frac: f64,
+    },
+}
+
+impl Event {
+    /// The step this event fires at.
+    pub fn step(&self) -> u64 {
+        match self {
+            Event::Partition { step, .. }
+            | Event::Heal { step }
+            | Event::SetLoss { step, .. }
+            | Event::Kill { step, .. } => *step,
+        }
+    }
+}
+
+/// Continuous membership churn over a window of run steps.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnWindow {
+    /// First step (inclusive) churn applies.
+    pub from: u64,
+    /// Last step (exclusive) churn applies.
+    pub to: u64,
+    /// Per-node probability of crashing each step.
+    pub leave_prob: f64,
+    /// Expected sponsored joins per step (fractions accumulate).
+    pub join_per_cycle: f64,
+}
+
+/// Which invariant oracles a scenario enables, and their thresholds.
+///
+/// Not every oracle is sound under every workload: global unique
+/// ownership, for instance, is exactly the property a cloning adversary
+/// violates *by design* until detection catches up, so attack scenarios
+/// replace it with the eventual-detection oracle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OracleConfig {
+    /// Cycles (run steps) to wait before bound-style oracles apply.
+    pub warmup: u64,
+    /// Per-view structural invariants (capacity, ownership, no dups).
+    /// Sound unconditionally; always on in practice.
+    pub view_invariants: bool,
+    /// No descriptor identity is live-owned (swappable view entry or
+    /// reserve entry) by two honest nodes at once. Sound only without a
+    /// cloning-capable adversary.
+    pub unique_ownership: bool,
+    /// Maximum in-degree (over honest views, counting honest creators)
+    /// after warmup. `None` disables.
+    pub max_indegree: Option<usize>,
+    /// Honest blacklists only grow, and never contain honest identities.
+    pub blacklist_monotone: bool,
+    /// End-of-run: the largest weakly-connected component of the honest
+    /// overlay covers at least this fraction of the alive honest nodes
+    /// (`1.0` = a single component; slightly lower floors tolerate the
+    /// occasional orphan that combined churn+loss+attack can strand).
+    pub final_connectivity: Option<f64>,
+    /// End-of-run: average honest view fill ≥ this fraction of ℓ.
+    pub final_min_fill: Option<f64>,
+    /// End-of-run: the adversary was caught — at least one violation
+    /// proven, and average blacklist coverage ≥ this fraction.
+    pub expect_detection: Option<f64>,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            warmup: 20,
+            view_invariants: true,
+            unique_ownership: false,
+            max_indegree: None,
+            blacklist_monotone: true,
+            final_connectivity: None,
+            final_min_fill: None,
+            expect_detection: None,
+        }
+    }
+}
+
+/// A complete adversarial scenario: population, protocol parameters,
+/// faults, churn, adversary, horizon, and the oracles that must hold.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Unique name (the matrix filter key).
+    pub name: String,
+    /// Total nodes at bootstrap.
+    pub n: usize,
+    /// Byzantine nodes among them.
+    pub n_malicious: usize,
+    /// Adversary strategy.
+    pub adversary: AdversaryKind,
+    /// Run step at which the adversary starts deviating.
+    pub attack_start: u64,
+    /// Protocol configuration.
+    pub cfg: SecureConfig,
+    /// Base loss rates `(request, response, oneway)` active from step 0.
+    pub loss: (f64, f64, f64),
+    /// Scheduled fault events.
+    pub events: Vec<Event>,
+    /// Optional churn window.
+    pub churn: Option<ChurnWindow>,
+    /// Run length in cycles.
+    pub cycles: u64,
+    /// Enabled oracles and thresholds.
+    pub oracles: OracleConfig,
+}
+
+impl Scenario {
+    /// A reliable, honest-only scenario with paper-default parameters and
+    /// the unconditionally sound oracles enabled.
+    pub fn new(name: &str, n: usize) -> Self {
+        Scenario {
+            name: name.to_string(),
+            n,
+            n_malicious: 0,
+            adversary: AdversaryKind::None,
+            attack_start: 0,
+            cfg: SecureConfig::default().with_view_len(8).with_swap_len(3),
+            loss: (0.0, 0.0, 0.0),
+            events: Vec::new(),
+            churn: None,
+            cycles: 60,
+            oracles: OracleConfig::default(),
+        }
+    }
+
+    /// Sets the run length.
+    pub fn cycles(mut self, cycles: u64) -> Self {
+        self.cycles = cycles;
+        self
+    }
+
+    /// Overrides the protocol configuration.
+    pub fn config(mut self, cfg: SecureConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Makes `k` nodes Byzantine, running `adversary` from `attack_start`.
+    pub fn adversary(mut self, k: usize, adversary: AdversaryKind, attack_start: u64) -> Self {
+        self.n_malicious = k;
+        self.adversary = adversary;
+        self.attack_start = attack_start;
+        self
+    }
+
+    /// Uniform message loss with probability `p` in every direction.
+    pub fn lossy(mut self, p: f64) -> Self {
+        self.loss = (p, p, p);
+        self
+    }
+
+    /// Per-direction loss probabilities (asymmetric-loss scenarios, §V-A).
+    pub fn asymmetric_loss(mut self, request: f64, response: f64, oneway: f64) -> Self {
+        self.loss = (request, response, oneway);
+        self
+    }
+
+    /// Partitions a random `island_frac` of the network at `step`.
+    pub fn partition_at(mut self, step: u64, island_frac: f64) -> Self {
+        self.events.push(Event::Partition { step, island_frac });
+        self
+    }
+
+    /// Heals any active partition at `step`.
+    pub fn heal_at(mut self, step: u64) -> Self {
+        self.events.push(Event::Heal { step });
+        self
+    }
+
+    /// Crashes a random `frac` of the alive nodes at `step`.
+    pub fn kill_at(mut self, step: u64, frac: f64) -> Self {
+        self.events.push(Event::Kill { step, frac });
+        self
+    }
+
+    /// Replaces the per-direction loss rates `(request, response, oneway)`
+    /// at `step`, keeping any active partition (loss regimes that change
+    /// mid-run, e.g. a congestion burst that later clears).
+    pub fn set_loss_at(mut self, step: u64, rates: (f64, f64, f64)) -> Self {
+        self.events.push(Event::SetLoss { step, rates });
+        self
+    }
+
+    /// Applies churn over `[from, to)` steps.
+    pub fn churn(mut self, from: u64, to: u64, leave_prob: f64, join_per_cycle: f64) -> Self {
+        self.churn = Some(ChurnWindow {
+            from,
+            to,
+            leave_prob,
+            join_per_cycle,
+        });
+        self
+    }
+
+    /// Replaces the oracle configuration.
+    pub fn oracles(mut self, oracles: OracleConfig) -> Self {
+        self.oracles = oracles;
+        self
+    }
+
+    /// Whether any scheduled event partitions the network.
+    pub fn has_partition(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, Event::Partition { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes() {
+        let sc = Scenario::new("t", 64)
+            .cycles(80)
+            .adversary(6, AdversaryKind::Hub, 20)
+            .lossy(0.05)
+            .partition_at(30, 0.3)
+            .heal_at(50)
+            .set_loss_at(60, (0.0, 0.0, 0.0))
+            .churn(10, 40, 0.01, 0.5);
+        assert_eq!(sc.n_malicious, 6);
+        assert_eq!(sc.loss, (0.05, 0.05, 0.05));
+        assert!(sc.has_partition());
+        assert_eq!(sc.events.len(), 3);
+        assert!(sc.churn.is_some());
+    }
+
+    #[test]
+    fn cloner_materializes_with_ledger() {
+        let (attack, ledger) = AdversaryKind::Cloner { target_age: 3 }.materialize();
+        assert!(matches!(attack, SecureAttack::Cloner { .. }));
+        assert!(ledger.is_some());
+        assert!(AdversaryKind::Hub.materialize().1.is_none());
+    }
+}

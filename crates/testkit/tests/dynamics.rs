@@ -2,11 +2,14 @@
 //! paper makes about one attack/defense pairing, at reduced scale.
 
 use sc_attacks::{
-    blacklist_coverage, build_legacy_network, build_secure_network, legacy_malicious_link_fraction,
-    malicious_link_fraction, ns_link_fraction, proofs_generated, CloneLedger, LegacyNetParams,
-    SecureAttack, SecureNetParams,
+    build_legacy_network, legacy_malicious_link_fraction, CloneLedger, LegacyNetParams,
+    SecureAttack,
 };
 use sc_core::{ProofKind, SecureConfig};
+use sc_testkit::{
+    blacklist_coverage, build_secure_network, malicious_link_fraction, ns_link_fraction,
+    proofs_generated, SecureNetParams,
+};
 use std::cell::RefCell;
 use std::collections::HashSet;
 use std::rc::Rc;

@@ -6,8 +6,9 @@
 //! cargo run --release --example churn_healing
 //! ```
 
-use securecyclon::attacks::{build_secure_network, SecureAttack, SecureNet, SecureNetParams};
+use securecyclon::attacks::SecureAttack;
 use securecyclon::sim::Engine;
+use securecyclon::testkit::{build_secure_network, SecureNet, SecureNetParams};
 use std::collections::{HashSet, VecDeque};
 
 /// Size of the largest weakly-connected component over honest views.

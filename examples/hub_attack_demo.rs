@@ -6,11 +6,11 @@
 //! ```
 
 use securecyclon::attacks::{
-    build_legacy_network, build_secure_network, legacy_malicious_link_fraction,
-    malicious_link_fraction, LegacyNetParams, SecureAttack, SecureNetParams,
+    build_legacy_network, legacy_malicious_link_fraction, LegacyNetParams, SecureAttack,
 };
 use securecyclon::cyclon::CyclonConfig;
 use securecyclon::metrics::{ascii_chart, TimeSeries};
+use securecyclon::testkit::{build_secure_network, malicious_link_fraction, SecureNetParams};
 
 const N: usize = 400;
 const MALICIOUS: usize = 12;

@@ -5,8 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use securecyclon::attacks::{build_secure_network, SecureAttack, SecureNetParams};
+use securecyclon::attacks::SecureAttack;
 use securecyclon::metrics::Histogram;
+use securecyclon::testkit::{build_secure_network, SecureNetParams};
 use std::collections::HashMap;
 
 fn main() {

@@ -14,13 +14,16 @@
 //! * [`sim`] — a deterministic cycle-driven P2P simulation engine.
 //! * [`cyclon`] — the legacy Cyclon baseline.
 //! * [`core`] — the SecureCyclon protocol itself.
-//! * [`attacks`] — the paper's adversary suite and mixed-network builders.
+//! * [`attacks`] — the paper's adversary suite.
+//! * [`testkit`] — mixed-network builder, adversarial scenario harness,
+//!   and protocol invariant oracles.
 //! * [`metrics`] — histograms, time series, and figure emission.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use securecyclon::attacks::{build_secure_network, SecureAttack, SecureNetParams};
+//! use securecyclon::attacks::SecureAttack;
+//! use securecyclon::testkit::{build_secure_network, SecureNetParams};
 //!
 //! // A 200-node overlay, all honest, bootstrapped and converged.
 //! let mut net = build_secure_network(SecureNetParams::new(200, 0, SecureAttack::None));
@@ -41,3 +44,4 @@ pub use sc_crypto as crypto;
 pub use sc_cyclon as cyclon;
 pub use sc_metrics as metrics;
 pub use sc_sim as sim;
+pub use sc_testkit as testkit;

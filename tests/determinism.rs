@@ -3,9 +3,10 @@
 //! traffic counter and every node's view after the same number of cycles —
 //! this is the baseline that future performance PRs regress against.
 
-use securecyclon::attacks::{build_secure_network, SecureAttack, SecureNetParams, SecureNetwork};
+use securecyclon::attacks::SecureAttack;
 use securecyclon::core::ViewEntry;
 use securecyclon::sim::TrafficStats;
+use securecyclon::testkit::{build_secure_network, SecureNetParams, SecureNetwork};
 
 fn params(seed: u64) -> SecureNetParams {
     let mut p = SecureNetParams::new(150, 10, SecureAttack::Hub);

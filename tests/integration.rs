@@ -1,14 +1,14 @@
 //! Cross-crate integration tests: the full stack working together through
 //! the umbrella crate's public API.
 
-use securecyclon::attacks::{
-    blacklist_coverage, build_secure_network, malicious_link_fraction, SecureAttack, SecureNet,
-    SecureNetParams,
-};
+use securecyclon::attacks::SecureAttack;
 use securecyclon::core::{SecureConfig, SecureCyclonNode};
 use securecyclon::crypto::{Keypair, Scheme};
 use securecyclon::metrics::{rises_after, spike_then_decay, TimeSeries};
 use securecyclon::sim::NetworkModel;
+use securecyclon::testkit::{
+    blacklist_coverage, build_secure_network, malicious_link_fraction, SecureNet, SecureNetParams,
+};
 use std::collections::{HashSet, VecDeque};
 
 fn cfg() -> SecureConfig {

@@ -243,6 +243,30 @@ proptest! {
     }
 
     #[test]
+    fn extend_by_one_verify_is_constant_and_equivalent(
+        path in proptest::collection::vec(0u8..20, 0..12),
+        next_tag in 0u8..20,
+    ) {
+        // Appending one link to a fully memoized chain must (a) agree with
+        // full verification and (b) cost exactly two memo lookups — the
+        // tip miss plus the immediate-prefix hit — independent of chain
+        // length, i.e. no O(chain) walk hides in the hot path.
+        let snaps = chain_snapshots(0, 5000, &path);
+        let base = snaps.last().unwrap();
+        let mut memo = VerifyMemo::new(4096);
+        prop_assert_eq!(base.verify_with(&mut memo), base.verify());
+        if kp(next_tag).public() != base.owner() {
+            let owner = (0u8..21).map(kp).find(|k| k.public() == base.owner()).unwrap();
+            let extended = base.transfer(&owner, kp(next_tag).public()).unwrap();
+            let lookups_before = memo.lookups();
+            prop_assert_eq!(extended.verify_with(&mut memo), extended.verify());
+            prop_assert!(extended.verify_with(&mut memo).is_ok());
+            // First call: tip miss + prefix hit. Second call: tip hit.
+            prop_assert_eq!(memo.lookups() - lookups_before, 3);
+        }
+    }
+
+    #[test]
     fn memo_capacity_never_changes_verdicts(
         path in proptest::collection::vec(0u8..20, 0..10),
         capacity in 0usize..8,
