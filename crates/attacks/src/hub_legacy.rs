@@ -21,7 +21,7 @@ use rand::{Rng, RngCore, SeedableRng};
 use sc_crypto::{NodeId, PublicKey};
 use sc_cyclon::{CyclonMsg, CyclonNode, LegacyDescriptor};
 use sc_sim::{Addr, CycleCtx, NodeCtx, SimNode};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Shared roster of the colluding party (paper §II-C: members "collude
 /// with each other, have mutual knowledge about the network, share the
@@ -39,7 +39,7 @@ pub struct LegacyParty {
 #[derive(Debug)]
 pub struct LegacyHubAttacker {
     inner: CyclonNode,
-    party: Rc<LegacyParty>,
+    party: Arc<LegacyParty>,
     attack_start: u64,
     swap_len: usize,
     rng: SmallRng,
@@ -51,7 +51,7 @@ impl LegacyHubAttacker {
     /// exchange.
     pub fn new(
         inner: CyclonNode,
-        party: Rc<LegacyParty>,
+        party: Arc<LegacyParty>,
         attack_start: u64,
         swap_len: usize,
         rng_seed: [u8; 32],
@@ -254,7 +254,7 @@ pub fn build_legacy_network(
     let members: Vec<(NodeId, Addr)> = (0..n_malicious)
         .map(|i| (keypairs[i].public(), i as Addr))
         .collect();
-    let party = Rc::new(LegacyParty {
+    let party = Arc::new(LegacyParty {
         members,
         all_addrs: (0..n as Addr).collect(),
     });
@@ -276,7 +276,7 @@ pub fn build_legacy_network(
         let node = if i < n_malicious {
             LegacyNet::Malicious(Box::new(LegacyHubAttacker::new(
                 inner,
-                Rc::clone(&party),
+                Arc::clone(&party),
                 attack_start,
                 cfg.swap_len,
                 sc_sim::rng::derive_seed(seed, "attacker", i as u64),

@@ -27,9 +27,8 @@ use sc_core::{
 };
 use sc_crypto::{Keypair, NodeId};
 use sc_sim::{Addr, CycleCtx, NodeCtx, RpcOutcome, SimNode};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// What a malicious node does once the attack starts.
 #[derive(Clone, Debug)]
@@ -45,7 +44,7 @@ pub enum SecureAttack {
         /// Clone a held descriptor when its age reaches this value.
         target_age: u64,
         /// Shared ledger recording clone events for measurement.
-        ledger: Rc<RefCell<CloneLedger>>,
+        ledger: Arc<Mutex<CloneLedger>>,
     },
     /// Frequency violation: `extra` additional creations per cycle.
     Frequency {
@@ -107,7 +106,7 @@ pub struct MaliciousSecureNode {
     attack: SecureAttack,
     attack_start: u64,
     owned: Vec<SecureDescriptor>,
-    party: Rc<RefCell<SecureParty>>,
+    party: Arc<Mutex<SecureParty>>,
     sessions: HashMap<Addr, MalSession>,
     /// Cloner state: the retained pre-state of a descriptor whose first
     /// copy has been sent, and who received that copy.
@@ -141,7 +140,7 @@ impl MaliciousSecureNode {
         tit_for_tat: bool,
         attack: SecureAttack,
         attack_start: u64,
-        party: Rc<RefCell<SecureParty>>,
+        party: Arc<Mutex<SecureParty>>,
         rng_seed: [u8; 32],
         phase: u64,
     ) -> Self {
@@ -239,7 +238,7 @@ impl MaliciousSecureNode {
     /// malicious nodes in recent cycles").
     fn mint_fresh(&mut self, now: u64) -> SecureDescriptor {
         let fresh = SecureDescriptor::create(&self.keypair, self.addr, Timestamp(now + self.phase));
-        self.party.borrow_mut().contribute_pool(fresh.clone());
+        self.party.lock().unwrap().contribute_pool(fresh.clone());
         fresh
     }
 
@@ -249,7 +248,7 @@ impl MaliciousSecureNode {
     fn next_transfer(&mut self, partner: NodeId, cycle: u64, now: u64) -> Option<SecureDescriptor> {
         if let SecureAttack::Cloner { target_age, ledger } = &self.attack {
             let target_age = *target_age;
-            let ledger = Rc::clone(ledger);
+            let ledger = Arc::clone(ledger);
             if cycle >= self.attack_start {
                 // Second copy of a pending clone, to a *different* partner.
                 if let Some((pre, first)) = self.pending_clone.take() {
@@ -264,13 +263,13 @@ impl MaliciousSecureNode {
                         d.age_cycles(Timestamp(now), self.ticks_per_cycle) >= target_age
                             && d.creator() != partner
                             && !self.cloned_ids.contains(&d.id())
-                            && !self.party.borrow().is_member(&d.creator())
+                            && !self.party.lock().unwrap().is_member(&d.creator())
                     });
                     if let Some(pos) = pos {
                         let pre = self.owned.swap_remove(pos);
                         let age = pre.age_cycles(Timestamp(now), self.ticks_per_cycle);
                         self.cloned_ids.insert(pre.id());
-                        ledger.borrow_mut().register(pre.id(), age, cycle);
+                        ledger.lock().unwrap().register(pre.id(), age, cycle);
                         let out = pre.transfer(&self.keypair, partner).ok();
                         self.pending_clone = Some((pre, partner));
                         return out;
@@ -288,7 +287,7 @@ impl MaliciousSecureNode {
     /// nodes", §VI-B).
     fn samples(&mut self, cycle: u64) -> Vec<SecureDescriptor> {
         if matches!(self.attack, SecureAttack::Hub) && self.attacking(cycle) {
-            let party = self.party.borrow();
+            let party = self.party.lock().unwrap();
             let _ = &party;
             // Identical pool snapshots everywhere: samples alone never
             // conflict, maximizing the attack's stealth. The *transfers*
@@ -307,7 +306,7 @@ impl MaliciousSecureNode {
         let cycle = ctx.cycle();
         let now = ctx.now();
         self.sessions.clear();
-        self.party.borrow_mut().prune_pool(Timestamp(now));
+        self.party.lock().unwrap().prune_pool(Timestamp(now));
 
         if matches!(self.attack, SecureAttack::Hub) && self.attacking(cycle) {
             self.hub_initiate(ctx, cycle, now);
@@ -404,11 +403,11 @@ impl MaliciousSecureNode {
         // Prefer a harvested token; fall back to a legitimately owned
         // honest descriptor.
         let token = {
-            let mut party = self.party.borrow_mut();
+            let mut party = self.party.lock().unwrap();
             party.take_token_for(&self.id, &mut self.rng)
         }
         .or_else(|| {
-            let party = self.party.borrow();
+            let party = self.party.lock().unwrap();
             let pos = self
                 .owned
                 .iter()
@@ -431,7 +430,7 @@ impl MaliciousSecureNode {
 
         let mut offered = Vec::new();
         if !self.tit_for_tat {
-            let mut party = self.party.borrow_mut();
+            let mut party = self.party.lock().unwrap();
             for _ in 1..self.swap_len {
                 if let Some(c) = party.clone_for_victim(&self.id, &victim_id, &mut self.rng) {
                     offered.push(c);
@@ -454,7 +453,7 @@ impl MaliciousSecureNode {
             if self.tit_for_tat && got_any {
                 for _ in 1..self.swap_len {
                     let clone = {
-                        let mut party = self.party.borrow_mut();
+                        let mut party = self.party.lock().unwrap();
                         party.clone_for_victim(&self.id, &victim_id, &mut self.rng)
                     };
                     let Some(out) = clone else { break };
@@ -480,7 +479,7 @@ impl MaliciousSecureNode {
             return;
         }
         if self.attacking(cycle) && matches!(self.attack, SecureAttack::Hub) {
-            self.party.borrow_mut().harvest_token(d);
+            self.party.lock().unwrap().harvest_token(d);
         } else {
             self.store_owned(d);
         }
@@ -532,13 +531,13 @@ impl MaliciousSecureNode {
                 }
                 SecureAttack::Hub => {
                     let clone = {
-                        let mut party = self.party.borrow_mut();
+                        let mut party = self.party.lock().unwrap();
                         party.clone_for_victim(&self.id, &requester, &mut self.rng)
                     };
                     let transfers: Vec<_> = if self.tit_for_tat {
                         clone.into_iter().collect()
                     } else {
-                        let mut party = self.party.borrow_mut();
+                        let mut party = self.party.lock().unwrap();
                         let mut v: Vec<_> = clone.into_iter().collect();
                         for _ in 1..self.swap_len {
                             if let Some(c) =
@@ -609,7 +608,7 @@ impl MaliciousSecureNode {
         };
         self.harvest_or_store(body.transfer, cycle);
         let transfer = if self.attacking(cycle) && matches!(self.attack, SecureAttack::Hub) {
-            let mut party = self.party.borrow_mut();
+            let mut party = self.party.lock().unwrap();
             party.clone_for_victim(&self.id, &partner, &mut self.rng)
         } else {
             self.next_transfer(partner, cycle, now)

@@ -7,8 +7,7 @@ use sc_attacks::{build_legacy_network, CloneLedger, LegacyNetParams, SecureAttac
 use sc_core::SecureConfig;
 use sc_cyclon::CyclonConfig;
 use sc_testkit::{build_secure_network, SecureNetParams};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 const N: usize = 200;
 
@@ -40,6 +39,29 @@ fn bench_cycle_costs(c: &mut Criterion) {
         params.cfg = small_cfg();
         let mut net = build_secure_network(params);
         net.engine.run_cycles(20);
+        b.iter(|| net.engine.run_cycle());
+    });
+
+    group.bench_function("legacy_20000", |b| {
+        let (mut engine, _) = build_legacy_network(LegacyNetParams {
+            n: 20_000,
+            n_malicious: 0,
+            cfg: CyclonConfig {
+                view_len: 10,
+                swap_len: 3,
+            },
+            attack_start: u64::MAX,
+            seed: 1,
+        });
+        engine.run_cycles(5);
+        b.iter(|| engine.run_cycle());
+    });
+
+    group.bench_function("secure_2000", |b| {
+        let mut params = SecureNetParams::new(2_000, 0, SecureAttack::None);
+        params.cfg = small_cfg();
+        let mut net = build_secure_network(params);
+        net.engine.run_cycles(10);
         b.iter(|| net.engine.run_cycle());
     });
 
@@ -106,7 +128,7 @@ fn bench_figures(c: &mut Criterion) {
 
     group.bench_function("fig7_cloner_smoke", |b| {
         b.iter(|| {
-            let ledger = Rc::new(RefCell::new(CloneLedger::new()));
+            let ledger = Arc::new(Mutex::new(CloneLedger::new()));
             let mut params = SecureNetParams::new(
                 N,
                 10,

@@ -14,11 +14,12 @@
 //! measured code path without burning minutes; committed baselines should
 //! come from a full run on an idle machine.
 
-use sc_attacks::SecureAttack;
+use sc_attacks::{build_legacy_network, LegacyNetParams, SecureAttack};
 use sc_bench::report::Report;
 use sc_bench::{chained, pool, warmed_memo, CHAIN_LENGTHS};
 use sc_core::SecureConfig;
 use sc_crypto::{schnorr61, sha256, Keypair, Scheme};
+use sc_cyclon::CyclonConfig;
 use sc_testkit::{build_secure_network, SecureNetParams};
 use std::time::Duration;
 
@@ -60,10 +61,10 @@ fn main() {
             }
         }
     }
-    let (budget, samples, sim_nodes, sim_budget) = if quick {
-        (Duration::from_millis(30), 5, 32, Duration::from_millis(200))
+    let (budget, samples, sim_budget) = if quick {
+        (Duration::from_millis(30), 5, Duration::from_millis(200))
     } else {
-        (Duration::from_millis(300), 11, 200, Duration::from_secs(3))
+        (Duration::from_millis(300), 11, Duration::from_secs(3))
     };
 
     let mut report = Report {
@@ -159,14 +160,43 @@ fn main() {
         );
     }
 
-    // -- end-to-end simulation cycle ----------------------------------
-    {
-        let mut params = SecureNetParams::new(sim_nodes, 0, SecureAttack::None);
+    // -- end-to-end simulation cycles, scaled by population -----------
+    // Two series: the crypto-free Cyclon layer carries the engine to
+    // 100k nodes; the full SecureCyclon protocol to 10k. Each records a
+    // nodes-per-second derived metric below.
+    let (cyclon_series, secure_series): (&[usize], &[usize]) = if quick {
+        (&[32, 1_000], &[32])
+    } else {
+        (&[200, 2_000, 20_000, 100_000], &[200, 2_000, 10_000])
+    };
+    for &n in cyclon_series {
+        let (mut engine, _) = build_legacy_network(LegacyNetParams {
+            n,
+            n_malicious: 0,
+            cfg: CyclonConfig {
+                view_len: 10,
+                swap_len: 3,
+            },
+            attack_start: u64::MAX,
+            seed: 1,
+        });
+        engine.run_cycles(5); // settle past the bootstrap topology
+        report.bench(
+            &format!("simulation/cyclon_cycle_{n}"),
+            sim_budget,
+            samples.min(7),
+            || {
+                engine.run_cycle();
+            },
+        );
+    }
+    for &n in secure_series {
+        let mut params = SecureNetParams::new(n, 0, SecureAttack::None);
         params.cfg = SecureConfig::default().with_view_len(10).with_swap_len(3);
         let mut net = build_secure_network(params);
         net.engine.run_cycles(10); // warm up to steady state
         report.bench(
-            &format!("simulation/secure_cycle_{sim_nodes}"),
+            &format!("simulation/secure_cycle_{n}"),
             sim_budget,
             samples.min(7),
             || {
@@ -207,6 +237,21 @@ fn main() {
         "schnorr61/powmod_g",
         "schnorr61/g_powmod",
     );
+    // Throughput of one engine cycle, in simulated nodes per second.
+    for &n in cyclon_series {
+        report.derive_rate(
+            &format!("cyclon_nodes_per_sec_{n}"),
+            &format!("simulation/cyclon_cycle_{n}"),
+            n as u64,
+        );
+    }
+    for &n in secure_series {
+        report.derive_rate(
+            &format!("secure_nodes_per_sec_{n}"),
+            &format!("simulation/secure_cycle_{n}"),
+            n as u64,
+        );
+    }
 
     if let Some((_, ratio)) = report
         .derived

@@ -94,6 +94,19 @@ impl Report {
         }
     }
 
+    /// Records a throughput metric: `count` work items per wall-clock
+    /// second, from a recorded per-iteration time (e.g. nodes simulated
+    /// per second from one engine cycle over `count` nodes).
+    pub fn derive_rate(&mut self, label: &str, bench: &str, count: u64) {
+        if let Some(r) = self.get(bench) {
+            if r.ns_per_iter > 0.0 {
+                let rate = count as f64 * 1e9 / r.ns_per_iter;
+                println!("{label:<44} {rate:>11.0}/s");
+                self.derived.push((label.to_string(), rate));
+            }
+        }
+    }
+
     /// Serializes the report as pretty-printed JSON (schema version 1).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");

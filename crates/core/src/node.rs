@@ -136,6 +136,14 @@ pub struct SecureCyclonNode {
     /// Our descriptors redeemed with a *regular* redemption (replay
     /// refusal), with the cycle the redemption was accepted.
     redeemed_regular: HashMap<DescriptorId, u64>,
+    /// State digests this node has already signed a continuation for
+    /// (transfer or redemption), with the signing cycle. Intake refuses a
+    /// byte-identical copy of a spent state: with deterministic signatures
+    /// an adversary can re-deliver the exact state a victim already
+    /// continued, and a second innocent continuation would hand observers
+    /// a valid §IV-B cloning proof *against the honest victim*. Pruned on
+    /// the sample-retention horizon, like the caches the proofs feed on.
+    spent_states: HashMap<sc_crypto::Digest, u64>,
     /// Descriptors of ours ever redeemed non-swappably (§V-A rule 1).
     ns_redeemed_ids: HashSet<DescriptorId>,
     /// (cycle, count) of NS redemptions accepted this cycle (§V-A rule 2).
@@ -203,6 +211,7 @@ impl SecureCyclonNode {
             blacklist: Blacklist::new(),
             reserve: VecDeque::new(),
             redeemed_regular: HashMap::new(),
+            spent_states: HashMap::new(),
             ns_redeemed_ids: HashSet::new(),
             ns_accepted: (0, 0),
             sessions: HashMap::new(),
@@ -517,6 +526,14 @@ impl SecureCyclonNode {
         if d.is_redeemed() || d.owner() != self.id || d.creator() == self.id {
             return false;
         }
+        // Replay guard: a state this node already continued must never be
+        // accepted again — re-spending it would make this node the
+        // provable culprit of a cloning violation. A legitimate return of
+        // the same descriptor carries the extra links and hashes
+        // differently.
+        if self.spent_states.contains_key(&d.state_digest()) {
+            return false;
+        }
         let last = d.chain().len() - 1; // owner()==id ≠ creator ⇒ non-empty
         d.owner_at(last) == from
     }
@@ -562,7 +579,8 @@ impl SecureCyclonNode {
     /// handed over in an exchange that then failed: the node "is allowed
     /// to keep a copy of a descriptor whose ownership it has transferred
     /// to some other peer, marking it as non-swappable" (§V-A).
-    fn lose_to_ns(&mut self, pre: SecureDescriptor) {
+    fn lose_to_ns(&mut self, pre: SecureDescriptor, cycle: u64) {
+        self.spent_states.insert(pre.state_digest(), cycle);
         if self.pending_ns.len() == self.cfg.transfer_history_len {
             self.pending_ns.pop_front();
         }
@@ -571,7 +589,8 @@ impl SecureCyclonNode {
 
     /// Remembers the pre-transfer copy of a successfully transferred
     /// descriptor as a last-resort NS back-fill candidate.
-    fn remember_transfer(&mut self, pre: SecureDescriptor) {
+    fn remember_transfer(&mut self, pre: SecureDescriptor, cycle: u64) {
+        self.spent_states.insert(pre.state_digest(), cycle);
         if self.transfer_history.len() == self.cfg.transfer_history_len {
             self.transfer_history.pop_front();
         }
@@ -586,6 +605,15 @@ impl SecureCyclonNode {
             let mut keep = VecDeque::with_capacity(self.reserve.len());
             while let Some(d) = self.reserve.pop_front() {
                 if self.blacklist.contains(&d.creator()) {
+                    continue;
+                }
+                // An adversary can deliver the same state twice in one
+                // cycle — the duplicate parks here while the original is
+                // spent from the view. Letting it re-circulate would make
+                // this node double-sign that state (a provable cloning
+                // violation against *us*), so a spent state dies in the
+                // reserve.
+                if self.spent_states.contains_key(&d.state_digest()) {
                     continue;
                 }
                 if self.view.can_insert(&d) {
@@ -644,6 +672,7 @@ impl SecureCyclonNode {
         self.sessions.retain(|_, s| s.cycle + 1 >= cycle);
         let horizon = cycle.saturating_sub(self.cfg.sample_retention_cycles);
         self.redeemed_regular.retain(|_, c| *c >= horizon);
+        self.spent_states.retain(|_, c| *c >= horizon);
     }
 
     /// Total ownership transfers each side performs in one exchange,
@@ -796,7 +825,7 @@ impl SecureCyclonNode {
             if let Ok(t) = pre.transfer(&self.keypair, redeemer) {
                 self.stats.transfers_sent += 1;
                 transfers.push(t);
-                self.remember_transfer(pre);
+                self.remember_transfer(pre, cycle);
             }
         }
 
@@ -853,7 +882,7 @@ impl SecureCyclonNode {
             .and_then(|pre| {
                 let out = pre.transfer(&self.keypair, partner).ok();
                 if out.is_some() {
-                    self.remember_transfer(pre);
+                    self.remember_transfer(pre, cycle);
                 }
                 out
             });
@@ -900,6 +929,7 @@ impl SecureCyclonNode {
         let Ok(redeemed) = entry.desc.redeem(&self.keypair, kind) else {
             return;
         };
+        self.spent_states.insert(entry.desc.state_digest(), cycle);
         // Keep the redeemed copy circulating as a sample (§V-C).
         self.redemptions.push(redeemed.clone(), cycle);
 
@@ -951,7 +981,7 @@ impl SecureCyclonNode {
                     return;
                 }
                 for pre in offered_pre {
-                    self.remember_transfer(pre);
+                    self.remember_transfer(pre, cycle);
                 }
                 let expect = if self.cfg.tit_for_tat { 1 } else { quota };
                 let got_any = !transfers.is_empty();
@@ -969,7 +999,7 @@ impl SecureCyclonNode {
                 // owned, but non-swappable copies may be retained.
                 self.stats.timeouts += 1;
                 for pre in offered_pre {
-                    self.lose_to_ns(pre);
+                    self.lose_to_ns(pre, cycle);
                 }
             }
         }
@@ -1002,18 +1032,18 @@ impl SecureCyclonNode {
             ) {
                 RpcOutcome::Reply(SecureMsg::RoundReply(reply)) => match reply.transfer {
                     Some(d) => {
-                        self.remember_transfer(pre);
+                        self.remember_transfer(pre, cycle);
                         self.accept_transfer(d, partner_id, cycle);
                     }
                     None => {
                         // Partner quit halfway: our transfer is gone, keep
                         // a non-swappable copy (§V-A).
-                        self.lose_to_ns(pre);
+                        self.lose_to_ns(pre, cycle);
                         return;
                     }
                 },
                 RpcOutcome::Reply(_) | RpcOutcome::Timeout => {
-                    self.lose_to_ns(pre);
+                    self.lose_to_ns(pre, cycle);
                     return;
                 }
             }
@@ -1141,6 +1171,7 @@ mod tests {
             net,
             ticks_per_cycle: cfg.ticks_per_cycle,
             start_cycle: plan.start_cycle,
+            execution: sc_sim::Execution::Sequential,
         });
         for (i, descs) in plan.per_node.into_iter().enumerate() {
             let mut node = SecureCyclonNode::new(
@@ -1160,6 +1191,42 @@ mod tests {
 
     fn small_cfg() -> SecureConfig {
         SecureConfig::default().with_view_len(8).with_swap_len(3)
+    }
+
+    #[test]
+    fn respent_state_is_refused_but_legitimate_return_is_not() {
+        // With deterministic signatures an adversary can re-deliver the
+        // byte-identical state a victim already continued; a second
+        // innocent signature over it would be a valid cloning proof
+        // *against the victim*. Intake must drop the replay — while still
+        // accepting the same descriptor when it legitimately returns via
+        // a longer chain.
+        let kps = keypairs(3);
+        let (creator, holder, next) = (&kps[0], &kps[1], &kps[2]);
+        let mut node = SecureCyclonNode::new(holder.clone(), 1, small_cfg(), [7u8; 32], 0);
+
+        let handed = SecureDescriptor::create(creator, 0, Timestamp(0))
+            .transfer(creator, holder.public())
+            .unwrap();
+        node.accept_transfer(handed.clone(), creator.public(), 0);
+        assert_eq!(node.view.len(), 1, "first intake accepted");
+
+        // Spend it: sign a transfer onward, as an exchange would.
+        let pre = node.view.remove_oldest().unwrap().desc;
+        let onward = pre.transfer(holder, next.public()).unwrap();
+        node.remember_transfer(pre, 0);
+
+        // A byte-identical replay of the spent state is refused.
+        let rejected_before = node.stats.transfers_rejected;
+        node.accept_transfer(handed, creator.public(), 1);
+        assert_eq!(node.stats.transfers_rejected, rejected_before + 1);
+        assert_eq!(node.view.len(), 0, "replay must not re-enter the view");
+
+        // The descriptor returning home through the next owner is legal:
+        // its extra links hash to a different state.
+        let returned = onward.transfer(next, holder.public()).unwrap();
+        node.accept_transfer(returned, next.public(), 2);
+        assert_eq!(node.view.len(), 1, "legitimate return accepted");
     }
 
     #[test]

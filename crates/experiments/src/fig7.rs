@@ -18,9 +18,8 @@ use sc_attacks::{CloneLedger, SecureAttack};
 use sc_core::{ProofKind, SecureConfig};
 use sc_metrics::{save_series_csv, TimeSeries};
 use sc_testkit::{build_secure_network, SecureNetParams};
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Detection ratio per age bucket for one (cache, malicious%) cell.
 #[allow(clippy::too_many_arguments)]
@@ -43,13 +42,13 @@ pub fn detection_by_age(
     // builder supports one age per run; we loop over ages here.
     let mut out: HashMap<u64, (usize, usize)> = HashMap::new();
     for (k, &age) in ages.iter().enumerate() {
-        let ledger = Rc::new(RefCell::new(CloneLedger::new()));
+        let ledger = Arc::new(Mutex::new(CloneLedger::new()));
         let mut params = SecureNetParams::new(
             n,
             n_malicious,
             SecureAttack::Cloner {
                 target_age: age,
-                ledger: Rc::clone(&ledger),
+                ledger: Arc::clone(&ledger),
             },
         );
         params.cfg = SecureConfig::default()
@@ -61,7 +60,7 @@ pub fn detection_by_age(
         let mut net = build_secure_network(params);
         net.engine.run_cycles(cycles);
 
-        let events = &ledger.borrow().events;
+        let events = &ledger.lock().unwrap().events;
         let ids: HashSet<_> = events.iter().map(|e| e.desc).collect();
         let mut detected: HashSet<_> = HashSet::new();
         for (_, node) in net.engine.nodes() {

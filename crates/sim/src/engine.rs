@@ -1,35 +1,81 @@
 //! The cycle-driven simulation engine.
 //!
 //! This module replaces the role PeerNet/PeerSim plays in the paper's
-//! evaluation (§VI). The engine owns a slab of protocol nodes and drives
-//! them in randomized order, once per cycle, exactly like PeerSim's
-//! cycle-based mode:
+//! evaluation (§VI). The engine owns an arena of protocol nodes (see
+//! [`crate::arena`]) and drives them in randomized order, once per cycle,
+//! exactly like PeerSim's cycle-based mode:
 //!
 //! * During its turn a node may perform **synchronous RPCs** — the
 //!   request/response round trips of a Cyclon gossip exchange, including the
 //!   `s` tit-for-tat rounds of SecureCyclon (§V-B), complete within the
 //!   initiator's turn.
 //! * Nodes may also emit **one-way messages** (proof floods, §IV-C) at any
-//!   point; these are queued and delivered at the start of the *next* cycle,
-//!   giving flooding a realistic one-hop-per-cycle propagation speed.
-//! * The [`NetworkModel`] injects independent message loss per direction;
-//!   a lost request is never processed by the target, while a lost response
-//!   leaves the target's state changed — the asymmetric-exchange scenario
-//!   of §V-A that motivates non-swappable descriptors.
+//!   point; these are queued per cycle and delivered at the start of the
+//!   *next* cycle, giving flooding a realistic one-hop-per-cycle propagation
+//!   speed. The queue is drained in ascending destination-address order
+//!   (stable within a destination), so delivery cost is a single pass over
+//!   a sorted batch and the loss-roll stream is a deterministic function of
+//!   the batch alone.
 //!
-//! The engine is single-threaded and fully deterministic for a given seed
-//! and node set, which the integration tests rely on.
+//! # Storage: the arena
+//!
+//! Nodes live in an [`Arena`]: boxed payloads indexed by [`Addr`], a
+//! packed liveness array, and a maintained live-address list. Every
+//! turn-time move (a node taken out for its turn, an RPC target checked
+//! out for its handler) is pointer-sized, per-cycle setup is O(alive)
+//! rather than O(addresses ever allocated), and addresses are never
+//! reused — a descriptor pointing at a departed node dangles, as in a
+//! real overlay.
+//!
+//! # Execution modes and determinism
+//!
+//! The engine runs in one of two [`Execution`] modes:
+//!
+//! * [`Execution::Sequential`] (the default): one turn at a time, fully
+//!   deterministic per seed — the mode every test and experiment replays
+//!   under.
+//! * [`Execution::Striped`]: the shuffled turn order is cut into
+//!   consecutive *stripes*; the turns of a stripe run concurrently on a
+//!   vendored rayon worker pool. Striped runs are **also deterministic**,
+//!   by construction rather than by luck:
+//!
+//!   1. Every RPC passes a *position-ordered admission gate*: the RPC of
+//!      the turn at stripe position `p` executes only after the turns at
+//!      positions `< p` have completed. RPCs therefore execute — and
+//!      consume network loss rolls from the engine RNG — in exactly the
+//!      order the sequential engine would, while the pre- and post-RPC
+//!      compute of different turns (peer selection, signature checks)
+//!      overlaps across workers.
+//!   2. An RPC whose target is co-scheduled in the caller's stripe is
+//!      deterministically unreachable (a "busy" timeout, counted under
+//!      `rpcs_unreachable`, consuming no randomness). This generalizes the
+//!      sequential rule that a node cannot serve an RPC while mid-turn.
+//!   3. One-way sends are buffered per turn and appended to the next
+//!      cycle's queue in stripe-position order — the exact order the
+//!      sequential engine produces.
+//!
+//!   The resulting contract: a striped run is bit-for-bit reproducible
+//!   for a given `(seed, stripe_len)`, independent of worker count and
+//!   OS scheduling; and with `stripe_len = 1` (where rule 2 never fires)
+//!   it is bit-identical to the sequential engine on any network model.
+//!   Striped execution requires node state to be engine-contained
+//!   (`N: Send`, no mutable state shared outside the engine), since
+//!   non-RPC sections of different turns overlap in wall time.
 
+use crate::arena::Arena;
 use crate::clock::Clock;
 use crate::net::NetworkModel;
 use crate::stats::TrafficStats;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// A simulated network address ("IP and port" in the paper's model).
 ///
-/// Addresses index the engine's node slab and are never reused, so a
+/// Addresses index the engine's node arena and are never reused, so a
 /// descriptor pointing at a departed node dangles — as in a real overlay.
 pub type Addr = u32;
 
@@ -94,9 +140,26 @@ struct Envelope<M> {
     msg: M,
 }
 
-struct Slot<N> {
-    node: Option<N>,
-    alive: bool,
+/// How [`Engine::run_cycle`] schedules the turns of a cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Execution {
+    /// One turn at a time, in shuffled order. The default, and the mode
+    /// of record for every determinism test.
+    #[default]
+    Sequential,
+    /// Turns run `stripe_len` at a time on `workers` pooled threads, with
+    /// RPC admission serialized in stripe-position order. Deterministic
+    /// for a given `(seed, stripe_len)` — see the module docs for the
+    /// exact contract — and bit-identical to [`Execution::Sequential`]
+    /// when `stripe_len == 1`.
+    Striped {
+        /// Worker threads per stripe (clamped to at least 1).
+        workers: usize,
+        /// Consecutive turns scheduled together (clamped to at least 1).
+        /// Part of the seed-stream contract: changing it changes which
+        /// RPCs hit the same-stripe busy rule.
+        stripe_len: usize,
+    },
 }
 
 /// Engine construction parameters.
@@ -110,6 +173,8 @@ pub struct SimConfig {
     pub ticks_per_cycle: u64,
     /// Cycle number the clock starts at (see [`crate::clock::Clock::starting_at`]).
     pub start_cycle: u64,
+    /// Turn scheduling mode (see [`Execution`]).
+    pub execution: Execution,
 }
 
 impl Default for SimConfig {
@@ -119,6 +184,7 @@ impl Default for SimConfig {
             net: NetworkModel::reliable(),
             ticks_per_cycle: crate::clock::DEFAULT_TICKS_PER_CYCLE,
             start_cycle: 0,
+            execution: Execution::Sequential,
         }
     }
 }
@@ -135,99 +201,76 @@ impl SimConfig {
 
 /// The cycle-driven simulator.
 pub struct Engine<N: SimNode> {
-    slots: Vec<Slot<N>>,
+    arena: Arena<N>,
     clock: Clock,
     net: NetworkModel,
     rng: StdRng,
     /// One-way messages to deliver at the start of the next cycle.
     pending: Vec<Envelope<N::Msg>>,
     stats: TrafficStats,
+    execution: Execution,
+    /// Worker pool for striped execution (None while sequential).
+    pool: Option<rayon::ThreadPool>,
 }
 
 impl<N: SimNode> Engine<N> {
     /// Creates an empty engine.
     pub fn new(cfg: SimConfig) -> Self {
-        Engine {
-            slots: Vec::new(),
+        let mut engine = Engine {
+            arena: Arena::new(),
             clock: Clock::new(cfg.ticks_per_cycle).starting_at(cfg.start_cycle),
             net: cfg.net,
             rng: StdRng::seed_from_u64(cfg.seed),
             pending: Vec::new(),
             stats: TrafficStats::default(),
-        }
+            execution: Execution::Sequential,
+            pool: None,
+        };
+        engine.set_execution(cfg.execution);
+        engine
     }
 
     /// Adds a node constructed by `make`, which receives the address the
     /// node will live at (nodes embed their address in descriptors).
     pub fn spawn_with(&mut self, make: impl FnOnce(Addr) -> N) -> Addr {
-        let addr = self.slots.len() as Addr;
-        let node = make(addr);
-        self.slots.push(Slot {
-            node: Some(node),
-            alive: true,
-        });
-        addr
+        self.arena.insert_with(make)
     }
 
     /// Removes a node from the network without notice (crash / departure).
     ///
     /// Its address is never reused; descriptors pointing at it dangle.
     pub fn kill(&mut self, addr: Addr) {
-        if let Some(slot) = self.slots.get_mut(addr as usize) {
-            slot.alive = false;
-            slot.node = None;
-        }
+        self.arena.kill(addr);
     }
 
     /// Whether the node at `addr` is alive.
     pub fn is_alive(&self, addr: Addr) -> bool {
-        self.slots
-            .get(addr as usize)
-            .is_some_and(|s| s.alive && s.node.is_some())
+        self.arena.is_alive(addr)
     }
 
-    /// Number of alive nodes.
+    /// Number of alive nodes. O(1).
     pub fn alive_count(&self) -> usize {
-        self.slots
-            .iter()
-            .filter(|s| s.alive && s.node.is_some())
-            .count()
+        self.arena.alive_count()
     }
 
     /// Total number of addresses ever allocated (alive or dead).
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.arena.capacity()
     }
 
     /// Borrows the node at `addr`, if alive.
     pub fn node(&self, addr: Addr) -> Option<&N> {
-        let slot = self.slots.get(addr as usize)?;
-        if slot.alive {
-            slot.node.as_ref()
-        } else {
-            None
-        }
+        self.arena.get(addr)
     }
 
     /// Mutably borrows the node at `addr`, if alive.
     pub fn node_mut(&mut self, addr: Addr) -> Option<&mut N> {
-        let slot = self.slots.get_mut(addr as usize)?;
-        if slot.alive {
-            slot.node.as_mut()
-        } else {
-            None
-        }
+        self.arena.get_mut(addr)
     }
 
-    /// Iterates over `(addr, node)` for all alive nodes.
+    /// Iterates over `(addr, node)` for all alive nodes in address order.
     pub fn nodes(&self) -> impl Iterator<Item = (Addr, &N)> {
-        self.slots.iter().enumerate().filter_map(|(i, s)| {
-            if s.alive {
-                s.node.as_ref().map(|n| (i as Addr, n))
-            } else {
-                None
-            }
-        })
+        self.arena.iter()
     }
 
     /// The simulation clock.
@@ -256,56 +299,186 @@ impl<N: SimNode> Engine<N> {
         self.net = net;
     }
 
-    /// Runs one full cycle: delivers queued one-way messages, then gives
-    /// every alive node its turn in random order.
-    pub fn run_cycle(&mut self) {
+    /// The active turn-scheduling mode.
+    pub fn execution(&self) -> Execution {
+        self.execution
+    }
+
+    /// Switches turn scheduling (takes effect from the next cycle).
+    /// Switching modes changes the seed stream only as documented on
+    /// [`Execution::Striped`].
+    pub fn set_execution(&mut self, execution: Execution) {
+        self.execution = execution;
+        self.pool = match execution {
+            Execution::Sequential => None,
+            Execution::Striped { workers, .. } => Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(workers.max(1))
+                    .build()
+                    .expect("vendored thread pool construction is infallible"),
+            ),
+        };
+    }
+
+    /// Runs one full cycle: delivers queued one-way messages in address
+    /// order, then gives every alive node its turn in shuffled order under
+    /// the configured [`Execution`] mode.
+    pub fn run_cycle(&mut self)
+    where
+        N: Send,
+        N::Msg: Send,
+    {
         self.deliver_pending();
 
-        let mut order: Vec<Addr> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.alive && s.node.is_some())
-            .map(|(i, _)| i as Addr)
-            .collect();
+        let mut order: Vec<Addr> = self.arena.live_addrs().to_vec();
         order.shuffle(&mut self.rng);
 
-        for addr in order {
-            // The node may have been killed mid-cycle by an observer or a
-            // prior event; re-check.
-            let Some(slot) = self.slots.get_mut(addr as usize) else {
-                continue;
-            };
-            if !slot.alive {
-                continue;
+        match self.execution {
+            Execution::Sequential => self.run_turns_sequential(&order),
+            Execution::Striped {
+                workers,
+                stripe_len,
+            } => {
+                for stripe in order.chunks(stripe_len.max(1)) {
+                    self.run_stripe(stripe, workers.max(1));
+                }
             }
-            let Some(mut node) = slot.node.take() else {
-                continue;
-            };
-            let mut ctx = CycleCtx {
-                engine: self,
-                self_addr: addr,
-            };
-            node.on_cycle(&mut ctx);
-            // The slot cannot have been re-filled while the node was out.
-            self.slots[addr as usize].node = Some(node);
         }
 
         self.clock.advance();
     }
 
     /// Runs `n` cycles back to back.
-    pub fn run_cycles(&mut self, n: u64) {
+    pub fn run_cycles(&mut self, n: u64)
+    where
+        N: Send,
+        N::Msg: Send,
+    {
         for _ in 0..n {
             self.run_cycle();
         }
     }
 
-    /// Delivers all one-way messages queued during the previous cycle.
+    /// The sequential turn loop: take each node out, run its turn, put it
+    /// back.
+    fn run_turns_sequential(&mut self, order: &[Addr]) {
+        for &addr in order {
+            // The node may have been killed mid-cycle; `take` then fails.
+            let Some(mut node) = self.arena.take(addr) else {
+                continue;
+            };
+            let mut ctx = CycleCtx {
+                self_addr: addr,
+                inner: CtxInner::Seq(self),
+            };
+            node.on_cycle(&mut ctx);
+            self.arena.put_back(addr, node);
+        }
+    }
+
+    /// Runs one stripe of turns on the worker pool. See the module docs
+    /// for the determinism argument.
+    fn run_stripe(&mut self, stripe: &[Addr], workers: usize)
+    where
+        N: Send,
+        N::Msg: Send,
+    {
+        // Check the stripe's nodes out sequentially. Addresses that died
+        // mid-cycle yield no node and their positions complete instantly.
+        let taken: Vec<Option<Box<N>>> = stripe.iter().map(|&a| self.arena.take(a)).collect();
+        let busy: HashSet<Addr> = stripe
+            .iter()
+            .zip(&taken)
+            .filter(|(_, n)| n.is_some())
+            .map(|(&a, _)| a)
+            .collect();
+        let n_turns = busy.len();
+        if n_turns == 0 {
+            return;
+        }
+
+        let gate = Gate::new(stripe.len());
+        for (pos, node) in taken.iter().enumerate() {
+            if node.is_none() {
+                gate.complete(pos);
+            }
+        }
+
+        // Everything the gated RPC path mutates moves under one lock for
+        // the stripe's duration; the lock is only ever contended by the
+        // single gate-admitted RPC at a time plus O(1) turn bookkeeping.
+        let shared = Mutex::new(StripeShared {
+            arena: std::mem::take(&mut self.arena),
+            rng: std::mem::replace(&mut self.rng, StdRng::seed_from_u64(0)),
+            stats: self.stats,
+        });
+        let turn_nodes = Mutex::new(taken);
+        let buffers: Mutex<Vec<Vec<Envelope<N::Msg>>>> =
+            Mutex::new(stripe.iter().map(|_| Vec::new()).collect());
+        let claim = AtomicUsize::new(0);
+        let net = &self.net;
+        let clock = self.clock;
+        let pool = self
+            .pool
+            .as_ref()
+            .expect("striped execution always has a pool");
+
+        pool.scope(|s| {
+            for _ in 0..workers.min(n_turns) {
+                s.spawn(|_| loop {
+                    let pos = claim.fetch_add(1, Ordering::SeqCst);
+                    if pos >= stripe.len() {
+                        break;
+                    }
+                    let Some(mut node) = turn_nodes.lock().unwrap()[pos].take() else {
+                        continue; // dead position, pre-completed
+                    };
+                    let mut buf: Vec<Envelope<N::Msg>> = Vec::new();
+                    {
+                        let mut ctx = CycleCtx {
+                            self_addr: stripe[pos],
+                            inner: CtxInner::Striped(StripedCtx {
+                                shared: &shared,
+                                gate: &gate,
+                                net,
+                                clock,
+                                pos,
+                                busy: &busy,
+                                buf: &mut buf,
+                            }),
+                        };
+                        node.on_cycle(&mut ctx);
+                    }
+                    turn_nodes.lock().unwrap()[pos] = Some(node);
+                    buffers.lock().unwrap()[pos] = buf;
+                    gate.complete(pos);
+                });
+            }
+        });
+
+        // Move the engine state back and merge per-turn sends in stripe
+        // position order — exactly the sequence the sequential loop emits.
+        let core = shared.into_inner().unwrap();
+        self.arena = core.arena;
+        self.rng = core.rng;
+        self.stats = core.stats;
+        for (pos, slot) in turn_nodes.into_inner().unwrap().into_iter().enumerate() {
+            if let Some(node) = slot {
+                self.arena.put_back(stripe[pos], node);
+            }
+        }
+        for buf in buffers.into_inner().unwrap() {
+            self.pending.extend(buf);
+        }
+    }
+
+    /// Delivers all one-way messages queued during the previous cycle,
+    /// in ascending destination-address order (stable per destination).
     /// Messages sent *while delivering* (cascading re-floods) are queued
     /// for the next cycle, giving one-hop-per-cycle flood propagation.
     fn deliver_pending(&mut self) {
-        let batch = std::mem::take(&mut self.pending);
+        let mut batch = std::mem::take(&mut self.pending);
+        batch.sort_by_key(|env| env.to);
         for env in batch {
             self.stats.oneways_sent += 1;
             // Partition check first: severing is deterministic and consumes
@@ -320,15 +493,7 @@ impl<N: SimNode> Engine<N> {
                 self.stats.oneways_dropped += 1;
                 continue;
             }
-            let Some(slot) = self.slots.get_mut(env.to as usize) else {
-                self.stats.oneways_to_dead += 1;
-                continue;
-            };
-            if !slot.alive {
-                self.stats.oneways_to_dead += 1;
-                continue;
-            }
-            let Some(mut node) = slot.node.take() else {
+            let Some(mut node) = self.arena.take(env.to) else {
                 self.stats.oneways_to_dead += 1;
                 continue;
             };
@@ -338,8 +503,136 @@ impl<N: SimNode> Engine<N> {
                 self_addr: env.to,
             };
             node.on_oneway(env.from, env.msg, &mut ctx);
-            self.slots[env.to as usize].node = Some(node);
+            self.arena.put_back(env.to, node);
             self.stats.oneways_delivered += 1;
+        }
+    }
+}
+
+/// The engine state an admitted RPC needs, shared under one mutex during
+/// a stripe (and borrowed field-by-field in sequential mode).
+struct StripeShared<N: SimNode> {
+    arena: Arena<N>,
+    rng: StdRng,
+    stats: TrafficStats,
+}
+
+/// The position-ordered admission gate of striped execution.
+///
+/// `watermark` is the lowest stripe position whose turn has not completed;
+/// an RPC at position `p` may execute once `watermark >= p`. The worker
+/// holding the lowest incomplete position never waits, so the gate cannot
+/// deadlock.
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+struct GateState {
+    done: Vec<bool>,
+    watermark: usize,
+}
+
+impl Gate {
+    fn new(len: usize) -> Self {
+        Gate {
+            state: Mutex::new(GateState {
+                done: vec![false; len],
+                watermark: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until every position below `pos` has completed.
+    fn wait_for(&self, pos: usize) {
+        let mut st = self.state.lock().unwrap();
+        while st.watermark < pos {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Marks `pos` complete and advances the watermark past any
+    /// contiguous run of completed positions.
+    fn complete(&self, pos: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.done[pos] = true;
+        while st.watermark < st.done.len() && st.done[st.watermark] {
+            st.watermark += 1;
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// Borrowed engine pieces an RPC admission runs against — one struct so
+/// sequential and striped mode share the exact same code path (and thus
+/// the exact same stats/RNG consumption order).
+struct RpcPath<'a, N: SimNode> {
+    arena: &'a mut Arena<N>,
+    rng: &'a mut StdRng,
+    stats: &'a mut TrafficStats,
+    net: &'a NetworkModel,
+    clock: &'a Clock,
+    /// Where the target handler's one-way sends accumulate: the engine
+    /// queue (sequential) or the initiator's turn buffer (striped).
+    out: &'a mut Vec<Envelope<N::Msg>>,
+    /// Addresses co-scheduled in the caller's stripe (empty when
+    /// sequential): deterministically unreachable this turn.
+    busy: Option<&'a HashSet<Addr>>,
+}
+
+impl<N: SimNode> RpcPath<'_, N> {
+    fn execute(self, from: Addr, to: Addr, msg: N::Msg) -> RpcOutcome<N::Msg> {
+        self.stats.rpcs_sent += 1;
+        if to == from {
+            // A node never gossips with itself; treat as unreachable.
+            self.stats.rpcs_unreachable += 1;
+            return RpcOutcome::Timeout;
+        }
+        if self.busy.is_some_and(|b| b.contains(&to)) {
+            // Target is co-scheduled in the caller's stripe: mid-turn for
+            // scheduling purposes, deterministically unreachable.
+            self.stats.rpcs_unreachable += 1;
+            return RpcOutcome::Timeout;
+        }
+        // A partition severs the round trip outright: the request never
+        // reaches the target (symmetric, so the response could not return
+        // either). Checked before any loss roll — see `deliver_pending`.
+        if self.net.severs(from, to) {
+            self.stats.rpcs_severed += 1;
+            return RpcOutcome::Timeout;
+        }
+        if self.net.drop_request > 0.0 && self.rng.gen::<f64>() < self.net.drop_request {
+            self.stats.rpcs_request_dropped += 1;
+            return RpcOutcome::Timeout;
+        }
+        let Some(mut node) = self.arena.take(to) else {
+            // Dead, never allocated, or mid-turn: unreachable.
+            self.stats.rpcs_unreachable += 1;
+            return RpcOutcome::Timeout;
+        };
+        let mut ctx = NodeCtx {
+            pending: self.out,
+            clock: self.clock,
+            self_addr: to,
+        };
+        let reply = node.on_rpc(from, msg, &mut ctx);
+        self.arena.put_back(to, node);
+        match reply {
+            None => {
+                self.stats.rpcs_refused += 1;
+                RpcOutcome::Timeout
+            }
+            Some(resp) => {
+                if self.net.drop_response > 0.0 && self.rng.gen::<f64>() < self.net.drop_response {
+                    self.stats.rpcs_response_dropped += 1;
+                    RpcOutcome::Timeout
+                } else {
+                    self.stats.rpcs_completed += 1;
+                    RpcOutcome::Reply(resp)
+                }
+            }
         }
     }
 }
@@ -347,11 +640,28 @@ impl<N: SimNode> Engine<N> {
 /// Context handed to a node during its cycle turn. Supports synchronous
 /// RPCs and one-way sends.
 pub struct CycleCtx<'e, N: SimNode> {
-    engine: &'e mut Engine<N>,
     self_addr: Addr,
+    inner: CtxInner<'e, N>,
 }
 
-impl<'e, N: SimNode> CycleCtx<'e, N> {
+enum CtxInner<'e, N: SimNode> {
+    /// Sequential mode: exclusive access to the whole engine.
+    Seq(&'e mut Engine<N>),
+    /// Striped mode: gated access to the shared stripe state.
+    Striped(StripedCtx<'e, N>),
+}
+
+struct StripedCtx<'e, N: SimNode> {
+    shared: &'e Mutex<StripeShared<N>>,
+    gate: &'e Gate,
+    net: &'e NetworkModel,
+    clock: Clock,
+    pos: usize,
+    busy: &'e HashSet<Addr>,
+    buf: &'e mut Vec<Envelope<N::Msg>>,
+}
+
+impl<N: SimNode> CycleCtx<'_, N> {
     /// The address of the node taking its turn.
     pub fn self_addr(&self) -> Addr {
         self.self_addr
@@ -359,89 +669,80 @@ impl<'e, N: SimNode> CycleCtx<'e, N> {
 
     /// The current cycle number.
     pub fn cycle(&self) -> u64 {
-        self.engine.clock.cycle()
+        self.clock_ref().cycle()
     }
 
     /// The tick at which the current cycle starts.
     pub fn now(&self) -> u64 {
-        self.engine.clock.now()
+        self.clock_ref().now()
     }
 
     /// Tick resolution of one cycle (the gossip period, in ticks).
     pub fn ticks_per_cycle(&self) -> u64 {
-        self.engine.clock.ticks_per_cycle()
+        self.clock_ref().ticks_per_cycle()
+    }
+
+    fn clock_ref(&self) -> &Clock {
+        match &self.inner {
+            CtxInner::Seq(engine) => &engine.clock,
+            CtxInner::Striped(sc) => &sc.clock,
+        }
     }
 
     /// Performs a synchronous RPC to `to`.
     ///
     /// All failure modes (dead target, lost request, lost response,
-    /// uncooperative peer) surface uniformly as [`RpcOutcome::Timeout`];
-    /// see the type docs for why.
+    /// uncooperative peer, target co-scheduled in the caller's stripe)
+    /// surface uniformly as [`RpcOutcome::Timeout`]; see the type docs
+    /// for why.
     pub fn rpc(&mut self, to: Addr, msg: N::Msg) -> RpcOutcome<N::Msg> {
-        let engine = &mut *self.engine;
-        engine.stats.rpcs_sent += 1;
-        if to == self.self_addr {
-            // A node never gossips with itself; treat as unreachable.
-            engine.stats.rpcs_unreachable += 1;
-            return RpcOutcome::Timeout;
-        }
-        // A partition severs the round trip outright: the request never
-        // reaches the target (symmetric, so the response could not return
-        // either). Checked before any loss roll — see `deliver_pending`.
-        if engine.net.severs(self.self_addr, to) {
-            engine.stats.rpcs_severed += 1;
-            return RpcOutcome::Timeout;
-        }
-        if engine.net.drop_request > 0.0 && engine.rng.gen::<f64>() < engine.net.drop_request {
-            engine.stats.rpcs_request_dropped += 1;
-            return RpcOutcome::Timeout;
-        }
-        let Some(slot) = engine.slots.get_mut(to as usize) else {
-            engine.stats.rpcs_unreachable += 1;
-            return RpcOutcome::Timeout;
-        };
-        if !slot.alive {
-            engine.stats.rpcs_unreachable += 1;
-            return RpcOutcome::Timeout;
-        }
-        let Some(mut node) = slot.node.take() else {
-            // Target is mid-turn (it is the caller); unreachable.
-            engine.stats.rpcs_unreachable += 1;
-            return RpcOutcome::Timeout;
-        };
-        let mut ctx = NodeCtx {
-            pending: &mut engine.pending,
-            clock: &engine.clock,
-            self_addr: to,
-        };
-        let reply = node.on_rpc(self.self_addr, msg, &mut ctx);
-        engine.slots[to as usize].node = Some(node);
-        match reply {
-            None => {
-                engine.stats.rpcs_refused += 1;
-                RpcOutcome::Timeout
-            }
-            Some(resp) => {
-                if engine.net.drop_response > 0.0
-                    && engine.rng.gen::<f64>() < engine.net.drop_response
-                {
-                    engine.stats.rpcs_response_dropped += 1;
-                    RpcOutcome::Timeout
-                } else {
-                    engine.stats.rpcs_completed += 1;
-                    RpcOutcome::Reply(resp)
+        let from = self.self_addr;
+        match &mut self.inner {
+            CtxInner::Seq(engine) => {
+                let engine = &mut **engine;
+                RpcPath {
+                    arena: &mut engine.arena,
+                    rng: &mut engine.rng,
+                    stats: &mut engine.stats,
+                    net: &engine.net,
+                    clock: &engine.clock,
+                    out: &mut engine.pending,
+                    busy: None,
                 }
+                .execute(from, to, msg)
+            }
+            CtxInner::Striped(sc) => {
+                // Admission: wait until every earlier turn in the stripe
+                // has fully completed, then run as the unique in-flight
+                // RPC — sequential order, parallel surroundings.
+                sc.gate.wait_for(sc.pos);
+                let mut guard = sc.shared.lock().unwrap();
+                let core = &mut *guard;
+                RpcPath {
+                    arena: &mut core.arena,
+                    rng: &mut core.rng,
+                    stats: &mut core.stats,
+                    net: sc.net,
+                    clock: &sc.clock,
+                    out: sc.buf,
+                    busy: Some(sc.busy),
+                }
+                .execute(from, to, msg)
             }
         }
     }
 
     /// Queues a one-way message for delivery at the start of the next cycle.
     pub fn send(&mut self, to: Addr, msg: N::Msg) {
-        self.engine.pending.push(Envelope {
+        let env = Envelope {
             from: self.self_addr,
             to,
             msg,
-        });
+        };
+        match &mut self.inner {
+            CtxInner::Seq(engine) => engine.pending.push(env),
+            CtxInner::Striped(sc) => sc.buf.push(env),
+        }
     }
 }
 
@@ -454,7 +755,7 @@ pub struct NodeCtx<'e, M> {
     self_addr: Addr,
 }
 
-impl<'e, M> NodeCtx<'e, M> {
+impl<M> NodeCtx<'_, M> {
     /// The address of the handling node.
     pub fn self_addr(&self) -> Addr {
         self.self_addr
@@ -540,7 +841,11 @@ mod tests {
     }
 
     fn build(n: u32, seed: u64) -> Engine<Toy> {
-        let mut eng = Engine::new(SimConfig::seeded(seed));
+        build_with(n, SimConfig::seeded(seed))
+    }
+
+    fn build_with(n: u32, cfg: SimConfig) -> Engine<Toy> {
+        let mut eng = Engine::new(cfg);
         for _ in 0..n {
             eng.spawn_with(|addr| Toy {
                 addr,
@@ -551,6 +856,12 @@ mod tests {
             });
         }
         eng
+    }
+
+    fn toy_state(eng: &Engine<Toy>) -> Vec<(Addr, u32, u32, u32)> {
+        eng.nodes()
+            .map(|(a, n)| (a, n.pings_answered, n.replies_got, n.oneways_got))
+            .collect()
     }
 
     #[test]
@@ -605,20 +916,14 @@ mod tests {
 
     #[test]
     fn lossy_network_drops_messages() {
-        let mut eng = Engine::<Toy>::new(SimConfig {
-            seed: 7,
-            net: NetworkModel::lossy(1.0),
-            ..Default::default()
-        });
-        for _ in 0..4 {
-            eng.spawn_with(|addr| Toy {
-                addr,
-                n: 4,
-                pings_answered: 0,
-                oneways_got: 0,
-                replies_got: 0,
-            });
-        }
+        let mut eng = build_with(
+            4,
+            SimConfig {
+                seed: 7,
+                net: NetworkModel::lossy(1.0),
+                ..Default::default()
+            },
+        );
         eng.run_cycles(3);
         assert_eq!(eng.stats().rpcs_completed, 0);
         let total: u32 = eng.nodes().map(|(_, n)| n.replies_got).sum();
@@ -628,20 +933,14 @@ mod tests {
     #[test]
     fn zero_loss_is_exact() {
         // p = 0.0 must never drop anything, not merely "rarely".
-        let mut eng = Engine::<Toy>::new(SimConfig {
-            seed: 11,
-            net: NetworkModel::lossy(0.0),
-            ..Default::default()
-        });
-        for _ in 0..8 {
-            eng.spawn_with(|addr| Toy {
-                addr,
-                n: 8,
-                pings_answered: 0,
-                oneways_got: 0,
-                replies_got: 0,
-            });
-        }
+        let mut eng = build_with(
+            8,
+            SimConfig {
+                seed: 11,
+                net: NetworkModel::lossy(0.0),
+                ..Default::default()
+            },
+        );
         eng.run_cycles(10);
         assert_eq!(eng.stats().rpcs_request_dropped, 0);
         assert_eq!(eng.stats().rpcs_response_dropped, 0);
@@ -652,20 +951,14 @@ mod tests {
     #[test]
     fn total_loss_is_exact() {
         // p = 1.0 must drop every request (rng.gen::<f64>() ∈ [0, 1)).
-        let mut eng = Engine::<Toy>::new(SimConfig {
-            seed: 11,
-            net: NetworkModel::lossy(1.0),
-            ..Default::default()
-        });
-        for _ in 0..8 {
-            eng.spawn_with(|addr| Toy {
-                addr,
-                n: 8,
-                pings_answered: 0,
-                oneways_got: 0,
-                replies_got: 0,
-            });
-        }
+        let mut eng = build_with(
+            8,
+            SimConfig {
+                seed: 11,
+                net: NetworkModel::lossy(1.0),
+                ..Default::default()
+            },
+        );
         eng.run_cycles(10);
         assert_eq!(eng.stats().rpcs_completed, 0);
         assert_eq!(eng.stats().rpcs_request_dropped, 8 * 10);
@@ -677,26 +970,16 @@ mod tests {
         // Two identical runs under partial loss make bit-identical drop
         // decisions: same per-message outcomes, same counters.
         let run = |seed: u64| {
-            let mut eng = Engine::<Toy>::new(SimConfig {
-                seed,
-                net: NetworkModel::lossy(0.37),
-                ..Default::default()
-            });
-            for _ in 0..12 {
-                eng.spawn_with(|addr| Toy {
-                    addr,
-                    n: 12,
-                    pings_answered: 0,
-                    oneways_got: 0,
-                    replies_got: 0,
-                });
-            }
+            let mut eng = build_with(
+                12,
+                SimConfig {
+                    seed,
+                    net: NetworkModel::lossy(0.37),
+                    ..Default::default()
+                },
+            );
             eng.run_cycles(25);
-            let per_node: Vec<_> = eng
-                .nodes()
-                .map(|(_, n)| (n.pings_answered, n.replies_got, n.oneways_got))
-                .collect();
-            (*eng.stats(), per_node)
+            (*eng.stats(), toy_state(&eng))
         };
         assert_eq!(run(99), run(99));
         assert_ne!(run(99).0, run(100).0, "different seeds roll differently");
@@ -731,20 +1014,14 @@ mod tests {
         // rolls and severs interleaving.
         use crate::net::Partition;
         let run = || {
-            let mut eng = Engine::<Toy>::new(SimConfig {
-                seed: 3,
-                net: NetworkModel::lossy(0.5).with_partition(Partition::isolate([0, 1])),
-                ..Default::default()
-            });
-            for _ in 0..6 {
-                eng.spawn_with(|addr| Toy {
-                    addr,
-                    n: 6,
-                    pings_answered: 0,
-                    oneways_got: 0,
-                    replies_got: 0,
-                });
-            }
+            let mut eng = build_with(
+                6,
+                SimConfig {
+                    seed: 3,
+                    net: NetworkModel::lossy(0.5).with_partition(Partition::isolate([0, 1])),
+                    ..Default::default()
+                },
+            );
             eng.run_cycles(20);
             *eng.stats()
         };
@@ -776,6 +1053,202 @@ mod tests {
         eng.kill(0);
         assert!(eng.node(0).is_none());
         assert!(eng.node(99).is_none());
+    }
+
+    /// A probe node with a fixed script: RPC one target and one-way
+    /// another, every cycle. Used to exercise dangling-address paths
+    /// explicitly.
+    struct Probe {
+        rpc_to: Addr,
+        oneway_to: Addr,
+        rpc_timeouts: u32,
+        rpc_replies: u32,
+        oneways_got: u32,
+    }
+
+    impl SimNode for Probe {
+        type Msg = u8;
+
+        fn on_cycle(&mut self, ctx: &mut CycleCtx<'_, Self>) {
+            match ctx.rpc(self.rpc_to, 1) {
+                RpcOutcome::Reply(_) => self.rpc_replies += 1,
+                RpcOutcome::Timeout => self.rpc_timeouts += 1,
+            }
+            ctx.send(self.oneway_to, 2);
+        }
+
+        fn on_rpc(&mut self, _f: Addr, _m: u8, _c: &mut NodeCtx<'_, u8>) -> Option<u8> {
+            Some(0)
+        }
+
+        fn on_oneway(&mut self, _f: Addr, _m: u8, _c: &mut NodeCtx<'_, u8>) {
+            self.oneways_got += 1;
+        }
+    }
+
+    #[test]
+    fn departed_address_rpcs_and_oneways_drop_cleanly() {
+        // The dangling-`Addr` path under arena storage: RPCs and one-ways
+        // to departed (and never-allocated) addresses are dropped and
+        // counted — no panic, no index confusion with later spawns.
+        let mut eng: Engine<Probe> = Engine::new(SimConfig::seeded(9));
+        let victim = eng.spawn_with(|_| Probe {
+            rpc_to: 0,
+            oneway_to: 0,
+            rpc_timeouts: 0,
+            rpc_replies: 0,
+            oneways_got: 0,
+        });
+        // Node 1 targets the victim; node 2 targets an address that has
+        // never been allocated.
+        let prober = eng.spawn_with(|_| Probe {
+            rpc_to: victim,
+            oneway_to: victim,
+            rpc_timeouts: 0,
+            rpc_replies: 0,
+            oneways_got: 0,
+        });
+        eng.spawn_with(|_| Probe {
+            rpc_to: 999,
+            oneway_to: 999,
+            rpc_timeouts: 0,
+            rpc_replies: 0,
+            oneways_got: 0,
+        });
+        eng.kill(victim);
+
+        // A later spawn must get a fresh address, not the victim's.
+        let late = eng.spawn_with(|_| Probe {
+            rpc_to: prober,
+            oneway_to: prober,
+            rpc_timeouts: 0,
+            rpc_replies: 0,
+            oneways_got: 0,
+        });
+        assert_eq!(late, 3, "departed addresses are never reallocated");
+
+        eng.run_cycles(3);
+        // Both the departed and the unallocated target time out every
+        // RPC and swallow every one-way (sends from the first two cycles
+        // have been delivered; the third cycle's are still queued).
+        assert_eq!(eng.node(prober).unwrap().rpc_replies, 0);
+        assert_eq!(eng.node(prober).unwrap().rpc_timeouts, 3);
+        assert_eq!(eng.node(2).unwrap().rpc_timeouts, 3);
+        assert_eq!(eng.stats().oneways_to_dead, 4, "two senders × two cycles");
+        // The fresh node's traffic to a live target flows normally.
+        assert_eq!(eng.node(late).unwrap().rpc_replies, 3);
+        assert_eq!(eng.node(prober).unwrap().oneways_got, 2);
+        // And the victim's address stays dead.
+        assert!(!eng.is_alive(victim));
+        assert!(eng.node(victim).is_none());
+    }
+
+    #[test]
+    fn oneway_delivery_is_address_ordered_and_stable() {
+        // Messages queued in arbitrary order are drained sorted by
+        // destination, preserving arrival order per destination. Observable
+        // via delivery counters under a partition that severs one sender.
+        let mut eng = build(6, 13);
+        eng.run_cycle(); // queue 6 notices to node 0
+        eng.run_cycle(); // deliver them
+        assert_eq!(eng.node(0).unwrap().oneways_got, 6);
+    }
+
+    #[test]
+    fn striped_stripe1_is_bit_identical_to_sequential() {
+        // The anchor of the striped seed-stream contract: stripe_len = 1
+        // must reproduce the sequential engine exactly — same stats, same
+        // node states — even under loss and partitions.
+        use crate::net::Partition;
+        let cfg = |execution| SimConfig {
+            seed: 17,
+            net: NetworkModel::lossy(0.25).with_partition(Partition::isolate([2, 3])),
+            execution,
+            ..Default::default()
+        };
+        let mut seq = build_with(12, cfg(Execution::Sequential));
+        let mut striped = build_with(
+            12,
+            cfg(Execution::Striped {
+                workers: 3,
+                stripe_len: 1,
+            }),
+        );
+        for _ in 0..20 {
+            seq.run_cycle();
+            striped.run_cycle();
+            assert_eq!(seq.stats(), striped.stats());
+        }
+        assert_eq!(toy_state(&seq), toy_state(&striped));
+    }
+
+    #[test]
+    fn striped_runs_are_deterministic() {
+        // Same seed + same stripe_len ⇒ bit-identical runs, regardless of
+        // how the OS schedules the workers (and of the worker count).
+        let run = |workers: usize| {
+            let mut eng = build_with(
+                24,
+                SimConfig {
+                    seed: 23,
+                    net: NetworkModel::lossy(0.2),
+                    execution: Execution::Striped {
+                        workers,
+                        stripe_len: 4,
+                    },
+                    ..Default::default()
+                },
+            );
+            eng.run_cycles(15);
+            (*eng.stats(), toy_state(&eng))
+        };
+        assert_eq!(run(4), run(4));
+        assert_eq!(run(4), run(2), "worker count is not part of the stream");
+    }
+
+    #[test]
+    fn same_stripe_targets_are_deterministically_busy() {
+        // With one stripe covering everyone, every RPC targets a
+        // co-scheduled node and must time out as unreachable — the
+        // striped generalization of the mid-turn rule.
+        let mut eng = build_with(
+            8,
+            SimConfig {
+                seed: 29,
+                execution: Execution::Striped {
+                    workers: 4,
+                    stripe_len: 8,
+                },
+                ..Default::default()
+            },
+        );
+        eng.run_cycles(3);
+        assert_eq!(eng.stats().rpcs_completed, 0);
+        assert_eq!(eng.stats().rpcs_unreachable, 8 * 3);
+    }
+
+    #[test]
+    fn striped_survives_churn() {
+        // Kills between cycles leave holes in the stripe schedule; the
+        // gate must pre-complete them and keep delivering turns.
+        let mut eng = build_with(
+            16,
+            SimConfig {
+                seed: 31,
+                execution: Execution::Striped {
+                    workers: 3,
+                    stripe_len: 5,
+                },
+                ..Default::default()
+            },
+        );
+        for killed in [3u32, 7, 11] {
+            eng.run_cycle();
+            eng.kill(killed);
+        }
+        eng.run_cycles(2);
+        assert_eq!(eng.alive_count(), 13);
+        assert!(eng.stats().rpcs_sent > 0);
     }
 }
 

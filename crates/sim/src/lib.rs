@@ -8,9 +8,16 @@
 //!
 //! Key pieces:
 //!
-//! * [`Engine`] — the simulator: node slab, randomized turn order,
-//!   synchronous multi-round RPC (for tit-for-tat gossip exchanges), and
-//!   queued one-way delivery (for proof flooding) at one hop per cycle.
+//! * [`Engine`] — the simulator: arena-backed node storage, randomized
+//!   turn order, synchronous multi-round RPC (for tit-for-tat gossip
+//!   exchanges), and batched one-way delivery (for proof flooding) at one
+//!   hop per cycle, drained in address order.
+//! * [`Execution`] — turn scheduling: deterministic sequential (default)
+//!   or striped parallel execution with a position-ordered RPC admission
+//!   gate (deterministic per `(seed, stripe_len)`; see
+//!   [`engine`](crate::engine) docs).
+//! * [`Arena`] — index-based node storage: pointer-sized node moves,
+//!   O(alive) cycle setup, addresses never reused.
 //! * [`SimNode`] — the trait protocol nodes implement (active thread, RPC
 //!   server, datagram handler).
 //! * [`NetworkModel`] — per-direction message-loss probabilities, plus
@@ -41,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod churn;
 pub mod clock;
 pub mod engine;
@@ -48,8 +56,11 @@ pub mod net;
 pub mod rng;
 pub mod stats;
 
+pub use arena::Arena;
 pub use churn::{Churn, ChurnConfig, ChurnReport};
 pub use clock::{Clock, DEFAULT_TICKS_PER_CYCLE};
-pub use engine::{testkit, Addr, CycleCtx, Engine, NodeCtx, RpcOutcome, SimConfig, SimNode};
+pub use engine::{
+    testkit, Addr, CycleCtx, Engine, Execution, NodeCtx, RpcOutcome, SimConfig, SimNode,
+};
 pub use net::{NetworkModel, Partition};
 pub use stats::TrafficStats;

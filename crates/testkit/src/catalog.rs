@@ -8,6 +8,7 @@
 //! oracle in play.
 
 use crate::scenario::{AdversaryKind, OracleConfig, Scenario};
+use sc_core::SecureConfig;
 
 /// Seeds every scenario is swept under.
 pub const MATRIX_SEEDS: [u64; 3] = [1, 2, 3];
@@ -19,17 +20,61 @@ pub struct MatrixSize {
     pub n: usize,
     /// Run length of the standard scenario.
     pub cycles: u64,
+    /// Per-cycle oracle sampling stride (`1` = check every cycle). The
+    /// scale tier samples sparsely because each check walks every view.
+    pub oracle_stride: u64,
+    /// Population of the headline `honest-reliable` scenario. Equal to
+    /// `n` in the quick/full tiers; the scale tier stretches just this
+    /// one scenario to its 20k ceiling so the sweep exercises the
+    /// engine's upper range without tripling the whole matrix's cost.
+    pub headline_n: usize,
+    /// Protocol view length ℓ. The quick/full tiers run the harness's
+    /// historical ℓ = 8; the scale tier runs the paper's proposed
+    /// configuration (§VI-A: ℓ = 20, s = 3) — at thousands of nodes a
+    /// compressed view does not survive the mass view purge that follows
+    /// evicting a hub adversary, and the overlay fragments.
+    pub view_len: usize,
 }
 
 impl MatrixSize {
     /// Full-fidelity sizing (local runs, nightly CI).
     pub fn full() -> Self {
-        MatrixSize { n: 96, cycles: 80 }
+        MatrixSize {
+            n: 96,
+            cycles: 80,
+            oracle_stride: 1,
+            headline_n: 96,
+            view_len: 8,
+        }
     }
 
     /// CI sizing: same scenarios, same oracles, smaller and shorter.
     pub fn quick() -> Self {
-        MatrixSize { n: 48, cycles: 40 }
+        MatrixSize {
+            n: 48,
+            cycles: 40,
+            oracle_stride: 1,
+            headline_n: 48,
+            view_len: 8,
+        }
+    }
+
+    /// Scale-tier sizing: the same twelve scenarios at 5k nodes (20k for
+    /// the headline honest scenario), with per-cycle oracles sampled
+    /// every few cycles. Run it in release mode — debug builds are an
+    /// order of magnitude slower at these populations:
+    ///
+    /// ```text
+    /// SC_MATRIX=scale cargo test --release --test scenario_matrix -- --nocapture
+    /// ```
+    pub fn scale() -> Self {
+        MatrixSize {
+            n: 5_000,
+            cycles: 32,
+            oracle_stride: 8,
+            headline_n: 20_000,
+            view_len: 20,
+        }
     }
 }
 
@@ -38,8 +83,9 @@ impl MatrixSize {
 fn honest_oracles(size: MatrixSize, min_fill: Option<f64>) -> OracleConfig {
     OracleConfig {
         warmup: size.cycles / 2,
+        stride: size.oracle_stride,
         unique_ownership: true,
-        max_indegree: Some(4 * 8), // 4×ℓ with the matrix's ℓ = 8
+        max_indegree: Some(4 * size.view_len), // 4×ℓ (Figure 2 tail)
         final_connectivity: Some(1.0),
         final_min_fill: min_fill,
         ..OracleConfig::default()
@@ -51,6 +97,7 @@ fn honest_oracles(size: MatrixSize, min_fill: Option<f64>) -> OracleConfig {
 fn attack_oracles(size: MatrixSize, coverage_floor: f64) -> OracleConfig {
     OracleConfig {
         warmup: size.cycles / 2,
+        stride: size.oracle_stride,
         expect_detection: Some(coverage_floor),
         final_connectivity: Some(1.0),
         ..OracleConfig::default()
@@ -61,6 +108,9 @@ fn attack_oracles(size: MatrixSize, coverage_floor: f64) -> OracleConfig {
 pub fn standard_matrix(size: MatrixSize) -> Vec<Scenario> {
     let n = size.n;
     let cycles = size.cycles;
+    let cfg = SecureConfig::default()
+        .with_view_len(size.view_len)
+        .with_swap_len(3);
     let byz = n / 12; // ~8% Byzantine where an adversary is present
     let attack_start = cycles / 8;
     let mid = cycles / 3;
@@ -68,15 +118,18 @@ pub fn standard_matrix(size: MatrixSize) -> Vec<Scenario> {
 
     vec![
         // -- honest baselines over the fault axes ----------------------
-        Scenario::new("honest-reliable", n)
+        Scenario::new("honest-reliable", size.headline_n)
             .cycles(cycles)
+            .config(cfg)
             .oracles(honest_oracles(size, Some(0.7))),
         Scenario::new("honest-lossy-10", n)
             .cycles(cycles)
+            .config(cfg)
             .lossy(0.10)
             .oracles(honest_oracles(size, Some(0.6))),
         Scenario::new("honest-asymmetric-loss", n)
             .cycles(cycles)
+            .config(cfg)
             .asymmetric_loss(0.15, 0.05, 0.10)
             // The congestion clears late in the run: the loss-regime
             // change exercises `set_loss_at`, and recovery must follow.
@@ -84,28 +137,34 @@ pub fn standard_matrix(size: MatrixSize) -> Vec<Scenario> {
             .oracles(honest_oracles(size, Some(0.6))),
         Scenario::new("honest-partition-heal", n)
             .cycles(cycles)
+            .config(cfg)
             .partition_at(mid, 1.0 / 3.0)
             .heal_at(heal)
             .oracles(honest_oracles(size, Some(0.5))),
         Scenario::new("honest-churn", n)
             .cycles(cycles)
+            .config(cfg)
             .churn(mid / 2, heal, 0.02, 1.0)
             .oracles(honest_oracles(size, Some(0.5))),
         Scenario::new("honest-mass-failure", n)
             .cycles(cycles)
+            .config(cfg)
             .kill_at(mid, 0.3)
             .oracles(honest_oracles(size, Some(0.5))),
         // -- each adversary through the real engine --------------------
         Scenario::new("hub-attack", n)
             .cycles(cycles)
+            .config(cfg)
             .adversary(byz, AdversaryKind::Hub, attack_start)
             .oracles(attack_oracles(size, 0.9)),
         Scenario::new("cloning-attack", n)
             .cycles(cycles)
+            .config(cfg)
             .adversary(byz, AdversaryKind::Cloner { target_age: 3 }, attack_start)
             .oracles(attack_oracles(size, 0.2)),
         Scenario::new("frequency-attack", n)
             .cycles(cycles)
+            .config(cfg)
             .adversary(
                 byz.min(4),
                 AdversaryKind::Frequency { extra: 2 },
@@ -114,24 +173,28 @@ pub fn standard_matrix(size: MatrixSize) -> Vec<Scenario> {
             .oracles(attack_oracles(size, 0.8)),
         Scenario::new("depletion-attack", n)
             .cycles(cycles)
+            .config(cfg)
             .adversary(byz, AdversaryKind::Depletion, attack_start)
             // Depletion never clones, so nothing is provable; the oracle
             // load here is structural: views stay legal, nobody honest is
             // accused, and the overlay survives connected.
             .oracles(OracleConfig {
                 warmup: cycles / 2,
+                stride: size.oracle_stride,
                 final_connectivity: Some(1.0),
                 ..OracleConfig::default()
             }),
         // -- compositions ----------------------------------------------
         Scenario::new("partition-cloning", n)
             .cycles(cycles)
+            .config(cfg)
             .adversary(byz, AdversaryKind::Cloner { target_age: 3 }, attack_start)
             .partition_at(mid, 0.25)
             .heal_at(heal)
             .oracles(attack_oracles(size, 0.1)),
         Scenario::new("lossy-churn-hub", n)
             .cycles(cycles)
+            .config(cfg)
             .adversary(byz, AdversaryKind::Hub, attack_start)
             .lossy(0.05)
             .churn(mid / 2, heal, 0.01, 0.5)
@@ -149,8 +212,24 @@ mod tests {
     use super::*;
 
     #[test]
+    fn scale_tier_spans_five_to_twenty_thousand_nodes() {
+        let size = MatrixSize::scale();
+        let scenarios = standard_matrix(size);
+        assert!(scenarios.iter().all(|s| s.n >= 5_000));
+        assert!(scenarios.iter().any(|s| s.n >= 20_000));
+        assert!(scenarios.iter().all(|s| s.oracles.stride > 1));
+        // The scale tier runs the paper's proposed configuration (§VI-A).
+        assert!(scenarios.iter().all(|s| s.cfg.view_len == 20));
+        // The quick tier is untouched by the scale tier's existence.
+        let quick = standard_matrix(MatrixSize::quick());
+        assert!(quick
+            .iter()
+            .all(|s| s.n == 48 && s.oracles.stride == 1 && s.cfg.view_len == 8));
+    }
+
+    #[test]
     fn matrix_meets_the_thirty_combination_floor() {
-        for size in [MatrixSize::quick(), MatrixSize::full()] {
+        for size in [MatrixSize::quick(), MatrixSize::full(), MatrixSize::scale()] {
             let scenarios = standard_matrix(size);
             assert!(scenarios.len() * MATRIX_SEEDS.len() >= 30);
             // Names are unique (they are the replay filter key).

@@ -12,10 +12,9 @@ use rand::seq::SliceRandom;
 use sc_attacks::{MaliciousSecureNode, SecureAttack, SecureParty};
 use sc_core::{default_phase, ring_bootstrap, SecureConfig, SecureCyclonNode, SecureMsg};
 use sc_crypto::{Keypair, NodeId, Scheme};
-use sc_sim::{Addr, CycleCtx, Engine, NetworkModel, NodeCtx, SimConfig, SimNode};
-use std::cell::RefCell;
+use sc_sim::{Addr, CycleCtx, Engine, Execution, NetworkModel, NodeCtx, SimConfig, SimNode};
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A node in a mixed SecureCyclon network.
 #[derive(Debug)]
@@ -91,6 +90,12 @@ pub struct SecureNetParams {
     pub scheme: Scheme,
     /// Message-loss model.
     pub net: NetworkModel,
+    /// Turn-scheduling mode of the engine. Striped execution is only
+    /// deterministic for nodes whose mutable state is engine-contained,
+    /// so keep the default ([`Execution::Sequential`]) whenever the
+    /// network hosts malicious nodes — they mutate the shared party
+    /// ledger outside the engine's striping contract.
+    pub execution: Execution,
 }
 
 impl SecureNetParams {
@@ -105,6 +110,7 @@ impl SecureNetParams {
             seed: 0,
             scheme: Scheme::KeyedHash,
             net: NetworkModel::reliable(),
+            execution: Execution::Sequential,
         }
     }
 }
@@ -118,7 +124,7 @@ pub struct SecureNetwork {
     /// Addresses of malicious nodes.
     pub malicious_addrs: HashSet<Addr>,
     /// The shared party state.
-    pub party: Rc<RefCell<SecureParty>>,
+    pub party: Arc<Mutex<SecureParty>>,
     /// Protocol configuration honest nodes were built with (joiners reuse
     /// it).
     pub cfg: SecureConfig,
@@ -221,6 +227,7 @@ pub fn build_secure_network(params: SecureNetParams) -> SecureNetwork {
         seed,
         scheme,
         net,
+        execution,
     } = params;
     let cfg = cfg.validated();
     assert!(n_malicious < n, "need at least one honest node");
@@ -241,7 +248,7 @@ pub fn build_secure_network(params: SecureNetParams) -> SecureNetwork {
 
     let party_kps: Vec<Keypair> = malicious_set.iter().map(|&i| keypairs[i].clone()).collect();
     let party_addrs: Vec<Addr> = malicious_set.iter().map(|&i| i as Addr).collect();
-    let party = Rc::new(RefCell::new(SecureParty::new(
+    let party = Arc::new(Mutex::new(SecureParty::new(
         party_kps,
         party_addrs,
         cfg.ticks_per_cycle,
@@ -259,6 +266,7 @@ pub fn build_secure_network(params: SecureNetParams) -> SecureNetwork {
         net,
         ticks_per_cycle: cfg.ticks_per_cycle,
         start_cycle: plan.start_cycle,
+        execution,
     });
 
     let mut malicious_ids = HashSet::new();
@@ -277,7 +285,7 @@ pub fn build_secure_network(params: SecureNetParams) -> SecureNetwork {
                 cfg.tit_for_tat,
                 attack.clone(),
                 attack_start,
-                Rc::clone(&party),
+                Arc::clone(&party),
                 rng_seed,
                 phases[i],
             );

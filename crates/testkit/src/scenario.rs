@@ -11,8 +11,8 @@
 
 use sc_attacks::SecureAttack;
 use sc_core::SecureConfig;
-use std::cell::RefCell;
-use std::rc::Rc;
+use sc_sim::Execution;
+use std::sync::{Arc, Mutex};
 
 /// Which adversary the Byzantine fraction runs.
 ///
@@ -42,17 +42,17 @@ pub enum AdversaryKind {
 impl AdversaryKind {
     /// Materializes the run-time attack strategy, returning the cloner's
     /// event ledger when one is involved.
-    pub fn materialize(self) -> (SecureAttack, Option<Rc<RefCell<sc_attacks::CloneLedger>>>) {
+    pub fn materialize(self) -> (SecureAttack, Option<Arc<Mutex<sc_attacks::CloneLedger>>>) {
         match self {
             AdversaryKind::None => (SecureAttack::None, None),
             AdversaryKind::Hub => (SecureAttack::Hub, None),
             AdversaryKind::Depletion => (SecureAttack::Depletion, None),
             AdversaryKind::Cloner { target_age } => {
-                let ledger = Rc::new(RefCell::new(sc_attacks::CloneLedger::new()));
+                let ledger = Arc::new(Mutex::new(sc_attacks::CloneLedger::new()));
                 (
                     SecureAttack::Cloner {
                         target_age,
-                        ledger: Rc::clone(&ledger),
+                        ledger: Arc::clone(&ledger),
                     },
                     Some(ledger),
                 )
@@ -131,6 +131,12 @@ pub struct ChurnWindow {
 pub struct OracleConfig {
     /// Cycles (run steps) to wait before bound-style oracles apply.
     pub warmup: u64,
+    /// Run the per-cycle oracles every `stride` steps (1 = every cycle).
+    /// The scale tier samples sparsely because each check is O(n·ℓ); all
+    /// the per-cycle oracles are sound under sampling (structural checks
+    /// are per-state, and blacklist monotonicity is transitive across
+    /// skipped cycles). End-of-run oracles are unaffected.
+    pub stride: u64,
     /// Per-view structural invariants (capacity, ownership, no dups).
     /// Sound unconditionally; always on in practice.
     pub view_invariants: bool,
@@ -159,6 +165,7 @@ impl Default for OracleConfig {
     fn default() -> Self {
         OracleConfig {
             warmup: 20,
+            stride: 1,
             view_invariants: true,
             unique_ownership: false,
             max_indegree: None,
@@ -196,6 +203,12 @@ pub struct Scenario {
     pub cycles: u64,
     /// Enabled oracles and thresholds.
     pub oracles: OracleConfig,
+    /// Turn scheduling for the underlying engine. Keep
+    /// [`Execution::Sequential`] (the default) for scenarios with a
+    /// Byzantine fraction: malicious nodes mutate a shared party ledger
+    /// outside the engine's striping contract, so only honest-only
+    /// scenarios are deterministic under striped execution.
+    pub execution: Execution,
 }
 
 impl Scenario {
@@ -214,6 +227,7 @@ impl Scenario {
             churn: None,
             cycles: 60,
             oracles: OracleConfig::default(),
+            execution: Execution::Sequential,
         }
     }
 
@@ -289,6 +303,19 @@ impl Scenario {
     /// Replaces the oracle configuration.
     pub fn oracles(mut self, oracles: OracleConfig) -> Self {
         self.oracles = oracles;
+        self
+    }
+
+    /// Overrides the engine turn scheduling. Striped execution is only
+    /// deterministic for honest-only scenarios (see
+    /// [`Scenario::execution`]); this builder panics if the scenario
+    /// already has a Byzantine fraction.
+    pub fn execution(mut self, execution: Execution) -> Self {
+        assert!(
+            self.n_malicious == 0 || execution == Execution::Sequential,
+            "striped execution is unsupported for adversarial scenarios"
+        );
+        self.execution = execution;
         self
     }
 

@@ -10,9 +10,8 @@ use sc_testkit::{
     blacklist_coverage, build_secure_network, malicious_link_fraction, ns_link_fraction,
     proofs_generated, SecureNetParams,
 };
-use std::cell::RefCell;
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 // ----------------------------------------------------------------------
 // Legacy Cyclon: the Figure 3 takeover
@@ -175,13 +174,13 @@ fn healthy_network_has_no_ns_links() {
 
 #[test]
 fn age_targeted_clones_are_detected_and_logged() {
-    let ledger = Rc::new(RefCell::new(CloneLedger::new()));
+    let ledger = Arc::new(Mutex::new(CloneLedger::new()));
     let mut params = SecureNetParams::new(
         120,
         6,
         SecureAttack::Cloner {
             target_age: 3,
-            ledger: Rc::clone(&ledger),
+            ledger: Arc::clone(&ledger),
         },
     );
     params.cfg = small_secure_cfg();
@@ -193,7 +192,7 @@ fn age_targeted_clones_are_detected_and_logged() {
     let mut net = build_secure_network(params);
     net.engine.run_cycles(80);
 
-    let events = ledger.borrow().events.clone();
+    let events = ledger.lock().unwrap().events.clone();
     assert!(
         events.len() >= 10,
         "attackers performed duplications: {}",

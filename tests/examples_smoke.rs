@@ -51,3 +51,9 @@ fn churn_healing_runs() {
 fn hub_attack_demo_runs() {
     run_example("hub_attack_demo");
 }
+
+#[test]
+#[ignore = "spawns a nested cargo build; run via CI or with -- --ignored"]
+fn large_scale_runs() {
+    run_example("large_scale");
+}

@@ -12,8 +12,15 @@
 //!   horizons). The default — and what CI runs on every push — is the
 //!   quick sizing: same scenarios, same seeds, same oracles, smaller
 //!   runs.
+//! * `SC_MATRIX=scale` — scale-tier sizing: the same scenarios at
+//!   5k–20k nodes with sampled per-cycle oracles. Run it with
+//!   `--release`; debug builds are an order of magnitude slower at these
+//!   populations.
 //! * `SC_SCENARIO=<name>` — run only the named scenario.
 //! * `SC_SEED=<seed>` — run only the given seed.
+//! * `SC_CYCLES=<n>` — override every scenario's run length (CI's
+//!   scale-smoke job shortens one scale scenario this way; events
+//!   scheduled past the new horizon simply never fire).
 //!
 //! Replaying a reported violation:
 //!
@@ -30,18 +37,27 @@ fn env_filter(name: &str) -> Option<String> {
 
 #[test]
 fn scenario_matrix_holds_all_oracles() {
-    let size = if env_filter("SC_MATRIX").as_deref() == Some("full") {
-        MatrixSize::full()
-    } else {
-        MatrixSize::quick()
+    let size = match env_filter("SC_MATRIX").as_deref() {
+        Some("full") => MatrixSize::full(),
+        Some("scale") => MatrixSize::scale(),
+        _ => MatrixSize::quick(),
     };
     let scenario_filter = env_filter("SC_SCENARIO");
     let seed_filter: Option<u64> = env_filter("SC_SEED").map(|s| {
         s.parse()
             .unwrap_or_else(|_| panic!("SC_SEED must be an integer, got '{s}'"))
     });
+    let cycles_override: Option<u64> = env_filter("SC_CYCLES").map(|s| {
+        s.parse()
+            .unwrap_or_else(|_| panic!("SC_CYCLES must be an integer, got '{s}'"))
+    });
 
-    let scenarios = standard_matrix(size);
+    let mut scenarios = standard_matrix(size);
+    if let Some(cycles) = cycles_override {
+        for sc in &mut scenarios {
+            sc.cycles = cycles;
+        }
+    }
     let combos: Vec<_> = scenarios
         .iter()
         .filter(|sc| scenario_filter.as_deref().is_none_or(|f| sc.name == f))

@@ -1,0 +1,231 @@
+//! Vendored minimal stand-in for the `rayon` thread-pool crate.
+//!
+//! The build environment has no registry access, so — like `rand`,
+//! `criterion`, and `proptest` under `vendor/` — this crate re-implements
+//! just the slice of the upstream API the workspace uses, with upstream
+//! semantics:
+//!
+//! * [`ThreadPoolBuilder`] / [`ThreadPool`] — a pool configured for a fixed
+//!   number of worker threads.
+//! * [`ThreadPool::scope`] / the free [`scope`] function — structured
+//!   fork/join: closures spawned inside the scope may borrow from the
+//!   enclosing stack frame, and the scope does not return until every
+//!   spawned task has finished.
+//! * [`join`] — run two closures and return both results.
+//!
+//! Unlike upstream rayon there is no work-stealing deque: each
+//! [`Scope::spawn`] runs on its own scoped OS thread (via
+//! [`std::thread::scope`], so no `unsafe` is needed for non-`'static`
+//! borrows). The intended usage pattern — and the only one the simulation
+//! engine uses — is to spawn one long-lived task per worker which pulls
+//! work items from a shared queue, so the thread-per-spawn cost is paid
+//! `num_threads` times per scope, not per work item. [`join`] runs its
+//! closures sequentially, which is always a legal rayon schedule.
+
+use std::fmt;
+
+/// Error returned by [`ThreadPoolBuilder::build`].
+///
+/// The vendored builder cannot actually fail; the type exists so call
+/// sites match upstream's fallible signature.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    _private: (),
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builds a [`ThreadPool`] with a configured degree of parallelism.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a new builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (`0` means "choose automatically",
+    /// which resolves to [`std::thread::available_parallelism`]).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A handle describing a fixed degree of parallelism.
+///
+/// Worker threads are not kept alive between scopes: every
+/// [`ThreadPool::scope`] call creates its scoped threads afresh and joins
+/// them before returning (structured concurrency, no `'static` bounds).
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The configured number of worker threads.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` inside a fork/join scope; tasks spawned on the scope may
+    /// borrow non-`'static` data. Returns once all spawned tasks finish.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        scope(f)
+    }
+
+    /// Runs `f` "inside" the pool. The vendored pool has no registry of
+    /// persistent workers, so this simply invokes `f` on the current
+    /// thread — equivalent for code that only uses `scope`/`join` within.
+    pub fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R,
+    {
+        f()
+    }
+}
+
+/// A fork/join scope: see [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task on the scope. The task may borrow anything that
+    /// outlives the scope; the enclosing [`scope`] call joins it before
+    /// returning. A panicking task propagates its panic out of `scope`.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let nested = Scope { inner };
+            f(&nested);
+        });
+    }
+}
+
+/// Creates a fork/join scope on the current thread and runs `f` in it.
+/// All tasks spawned via [`Scope::spawn`] complete before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    })
+}
+
+/// Runs both closures and returns their results.
+///
+/// Upstream rayon may run them on different threads; running them
+/// sequentially on the caller's thread is one of rayon's permitted
+/// schedules and is what this stand-in does.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn builder_reports_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let auto = ThreadPoolBuilder::new().build().unwrap();
+        assert!(auto.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn scope_joins_all_spawned_tasks() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn scope_tasks_can_borrow_stack_data() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = Mutex::new(0u64);
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    *total.lock().unwrap() += sum;
+                });
+            }
+        });
+        assert_eq!(total.into_inner().unwrap(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn scope_returns_closure_result() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let out = pool.scope(|_| 42);
+        assert_eq!(out, 42);
+        assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}
