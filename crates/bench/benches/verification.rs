@@ -63,7 +63,14 @@ fn bench_schnorr_paths(c: &mut Criterion) {
     let r = u64::from_be_bytes(bytes[1..9].try_into().unwrap());
     let s = u64::from_be_bytes(bytes[9..17].try_into().unwrap());
     c.bench_function("schnorr61/verify_legacy", |b| {
-        b.iter(|| assert!(schnorr61::verify(pk, std::hint::black_box(&msg), r, s)))
+        b.iter(|| {
+            assert!(schnorr61::reference::verify(
+                pk,
+                std::hint::black_box(&msg),
+                r,
+                s
+            ))
+        })
     });
     c.bench_function("schnorr61/verify_fast", |b| {
         b.iter(|| assert!(schnorr61::verify_fast(pk, std::hint::black_box(&msg), r, s)))

@@ -94,6 +94,21 @@ impl Report {
         }
     }
 
+    /// Records a per-item cost: a recorded per-iteration time divided by
+    /// the `count` of work items one iteration covers (e.g. ns per
+    /// node-cycle from one engine cycle over `count` nodes, or ns per
+    /// signature from one batch verification over `count` signatures).
+    /// Lower is better; `bench-diff` keys off the `ns_per` naming.
+    pub fn derive_per_item(&mut self, label: &str, bench: &str, count: u64) {
+        if let Some(r) = self.get(bench) {
+            if count > 0 {
+                let per_item = r.ns_per_iter / count as f64;
+                println!("{label:<44} {:>12}", format_ns(per_item));
+                self.derived.push((label.to_string(), per_item));
+            }
+        }
+    }
+
     /// Records a throughput metric: `count` work items per wall-clock
     /// second, from a recorded per-iteration time (e.g. nodes simulated
     /// per second from one engine cycle over `count` nodes).

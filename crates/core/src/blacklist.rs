@@ -7,8 +7,7 @@
 //! late-joining nodes during gossip.
 
 use crate::proof::ViolationProof;
-use sc_crypto::NodeId;
-use std::collections::HashSet;
+use sc_crypto::{FxHashSet, NodeId};
 
 /// A registered proof together with when this node learned of it.
 #[derive(Clone, Debug)]
@@ -22,7 +21,7 @@ pub struct StoredProof {
 /// Set of provably malicious nodes plus the evidence against them.
 #[derive(Debug, Default)]
 pub struct Blacklist {
-    culprits: HashSet<NodeId>,
+    culprits: FxHashSet<NodeId>,
     proofs: Vec<StoredProof>,
 }
 

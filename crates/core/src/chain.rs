@@ -96,14 +96,20 @@ pub fn compare_chains(
     let lc = left.chain();
     let rc = right.chain();
     let common = lc.len().min(rc.len());
-    for i in 0..common {
-        if !links_equal(&lc[i], &rc[i]) {
-            return Ok(ChainRelation::Divergent {
-                index: i,
-                signer: left.owner_at(i),
-                ns_exception: is_ns_pair(&lc[i], &rc[i]),
-            });
-        }
+    // Fast path: the running state digest at `common` commits to every
+    // field of every link up to that length, so equal digests mean the
+    // whole common prefix is byte-identical — the dominant case (repeat
+    // sightings of the same descriptor) is one 32-byte compare instead
+    // of a link-by-link walk.
+    if left.prefix_state(common) != right.prefix_state(common) {
+        let i = (0..common)
+            .find(|&i| !links_equal(&lc[i], &rc[i]))
+            .expect("prefix digests differ, so some link differs");
+        return Ok(ChainRelation::Divergent {
+            index: i,
+            signer: left.owner_at(i),
+            ns_exception: is_ns_pair(&lc[i], &rc[i]),
+        });
     }
     Ok(match lc.len().cmp(&rc.len()) {
         core::cmp::Ordering::Equal => ChainRelation::Identical,

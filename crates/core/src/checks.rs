@@ -32,8 +32,9 @@ use crate::descriptor::{DescriptorId, LinkKind, SecureDescriptor};
 use crate::memo::VerifyMemo;
 use crate::proof::ViolationProof;
 use crate::time::Timestamp;
-use sc_crypto::NodeId;
-use std::collections::{BTreeMap, HashMap};
+use sc_crypto::{FxHashMap, NodeId};
+use std::collections::hash_map::Entry;
+use std::collections::VecDeque;
 
 /// Result of observing one descriptor against the cache.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -64,10 +65,22 @@ struct Cached {
 /// Cache of descriptor samples with the secondary index needed by the
 /// frequency check.
 pub struct SampleCache {
-    by_id: HashMap<DescriptorId, Cached>,
-    /// creator → creation timestamp → (), for range queries. The
-    /// `DescriptorId` is reconstructible as `(creator, timestamp)`.
-    by_creator: HashMap<NodeId, BTreeMap<u64, ()>>,
+    by_id: FxHashMap<DescriptorId, Cached>,
+    /// creator → sorted creation timestamps, for the frequency check's
+    /// range query. The `DescriptorId` is reconstructible as `(creator,
+    /// timestamp)`. A sorted `Vec` beats a tree here: per-creator entry
+    /// counts are bounded by the retention window, so the O(n) insert /
+    /// remove memmoves stay a few cache lines while lookups avoid
+    /// pointer-chasing and per-node allocation entirely.
+    by_creator: FxHashMap<NodeId, Vec<u64>>,
+    /// Expiry wheel: `touched[i]` holds the ids sighted at cycle
+    /// `touched_base + i`. An id re-sighted later simply appears in a
+    /// later bucket too, so pruning a bucket checks the entry's actual
+    /// `last_seen` before removing. This keeps [`SampleCache::prune`]
+    /// amortized O(sightings) instead of a full-cache scan per cycle.
+    touched: VecDeque<Vec<DescriptorId>>,
+    /// Cycle the front bucket of `touched` corresponds to.
+    touched_base: u64,
     retention_cycles: u64,
 }
 
@@ -86,10 +99,39 @@ impl SampleCache {
     /// cycles after their last sighting.
     pub fn new(retention_cycles: u64) -> Self {
         SampleCache {
-            by_id: HashMap::new(),
-            by_creator: HashMap::new(),
+            by_id: FxHashMap::default(),
+            by_creator: FxHashMap::default(),
+            touched: VecDeque::new(),
+            touched_base: 0,
             retention_cycles,
         }
+    }
+
+    /// Records a sighting of `id` at `now_cycle` in the expiry wheel.
+    /// With the protocol's monotonic clock `now_cycle` never precedes
+    /// `touched_base`; if a caller rewinds anyway the sighting lands in
+    /// the earliest bucket, which at worst retains the entry past its
+    /// window (never evicts it early).
+    fn note_sighting(&mut self, id: DescriptorId, now_cycle: u64) {
+        Self::note_sighting_in(&mut self.touched, &mut self.touched_base, id, now_cycle);
+    }
+
+    /// Field-level form of [`SampleCache::note_sighting`], for call sites
+    /// that hold a mutable borrow into another field of the cache.
+    fn note_sighting_in(
+        touched: &mut VecDeque<Vec<DescriptorId>>,
+        touched_base: &mut u64,
+        id: DescriptorId,
+        now_cycle: u64,
+    ) {
+        if touched.is_empty() {
+            *touched_base = now_cycle;
+        }
+        let idx = now_cycle.saturating_sub(*touched_base) as usize;
+        while touched.len() <= idx {
+            touched.push_back(Vec::new());
+        }
+        touched[idx].push(id);
     }
 
     /// Number of cached samples.
@@ -144,8 +186,23 @@ impl SampleCache {
     ) -> Observation {
         let id = desc.id();
 
-        // Ownership check against a cached copy of the same token.
-        if let Some(cached) = self.by_id.get_mut(&id) {
+        // Ownership check against a cached copy of the same token. The
+        // fields are destructured so the wheel can record the sighting
+        // while the cached entry stays mutably borrowed — one hash lookup
+        // per observation instead of a lookup for the wheel and another
+        // for the entry.
+        let Self {
+            by_id,
+            touched,
+            touched_base,
+            ..
+        } = self;
+        if let Some(cached) = by_id.get_mut(&id) {
+            // One wheel entry per (id, cycle) sighting; re-sightings
+            // within a cycle are deduplicated by the `last_seen` compare.
+            if cached.last_seen != now_cycle {
+                Self::note_sighting_in(touched, touched_base, id, now_cycle);
+            }
             cached.last_seen = now_cycle;
             match compare_chains(&cached.desc, desc) {
                 Ok(ChainRelation::Identical) | Ok(ChainRelation::LeftExtendsRight) => {
@@ -209,6 +266,11 @@ impl SampleCache {
             }
         }
 
+        // First sighting of this id: record it in the wheel. A sighting
+        // recorded for an observation that ends up not caching (violation,
+        // forgery) leaves a stale id in the wheel, which `prune` skips.
+        self.note_sighting(id, now_cycle);
+
         // Frequency check against other creations by the same creator.
         if let Some(conflict) = self.frequency_conflict(&id, period_ticks) {
             let other = self
@@ -236,10 +298,12 @@ impl SampleCache {
             };
         }
 
-        self.by_creator
-            .entry(id.creator)
-            .or_default()
-            .insert(id.created_at.ticks(), ());
+        let index = self.by_creator.entry(id.creator).or_default();
+        let ts = id.created_at.ticks();
+        let pos = index.partition_point(|&t| t < ts);
+        if index.get(pos) != Some(&ts) {
+            index.insert(pos, ts);
+        }
         self.by_id.insert(
             id,
             Cached {
@@ -257,11 +321,12 @@ impl SampleCache {
         let ts = id.created_at.ticks();
         let lo = ts.saturating_sub(period_ticks - 1);
         let hi = ts.saturating_add(period_ticks - 1);
-        index
-            .range(lo..=hi)
-            .map(|(&t, ())| t)
-            .find(|&t| t != ts)
-            .map(|t| DescriptorId {
+        let start = index.partition_point(|&t| t < lo);
+        index[start..]
+            .iter()
+            .take_while(|&&t| t <= hi)
+            .find(|&&t| t != ts)
+            .map(|&t| DescriptorId {
                 creator: id.creator,
                 created_at: Timestamp(t),
             })
@@ -270,37 +335,59 @@ impl SampleCache {
     /// Removes a single entry and its index record.
     fn remove_entry(&mut self, id: &DescriptorId) {
         if self.by_id.remove(id).is_some() {
-            if let Some(index) = self.by_creator.get_mut(&id.creator) {
-                index.remove(&id.created_at.ticks());
-                if index.is_empty() {
-                    self.by_creator.remove(&id.creator);
-                }
+            Self::unindex(&mut self.by_creator, id);
+        }
+    }
+
+    /// Drops `id`'s record from the creator index.
+    fn unindex(by_creator: &mut FxHashMap<NodeId, Vec<u64>>, id: &DescriptorId) {
+        if let Some(index) = by_creator.get_mut(&id.creator) {
+            if let Ok(pos) = index.binary_search(&id.created_at.ticks()) {
+                index.remove(pos);
+            }
+            if index.is_empty() {
+                by_creator.remove(&id.creator);
             }
         }
     }
 
     /// Drops samples not seen for longer than the retention window.
+    ///
+    /// Amortized O(sightings that just expired): only the expiry-wheel
+    /// buckets older than the horizon are walked, never the whole cache.
+    /// An id re-sighted after a walked bucket's cycle has a later wheel
+    /// entry, so its `last_seen` check here keeps it alive.
     pub fn prune(&mut self, now_cycle: u64) {
         let horizon = now_cycle.saturating_sub(self.retention_cycles);
-        let by_creator = &mut self.by_creator;
-        self.by_id.retain(|id, cached| {
-            let keep = cached.last_seen >= horizon;
-            if !keep {
-                if let Some(index) = by_creator.get_mut(&id.creator) {
-                    index.remove(&id.created_at.ticks());
-                    if index.is_empty() {
-                        by_creator.remove(&id.creator);
+        while self.touched_base < horizon {
+            let Some(bucket) = self.touched.pop_front() else {
+                break;
+            };
+            self.touched_base += 1;
+            for id in bucket {
+                // Entry API: one hash lookup covers both the expiry check
+                // and the removal (most wheel entries this old do expire).
+                if let Entry::Occupied(e) = self.by_id.entry(id) {
+                    if e.get().last_seen < horizon {
+                        e.remove();
+                        Self::unindex(&mut self.by_creator, &id);
                     }
                 }
             }
-            keep
-        });
+        }
     }
 
     /// Removes every sample created by `creator` (post-blacklist purge).
+    /// The creator index names exactly the ids to drop (`remove_entry`
+    /// keeps the two maps in lockstep), so this never scans the cache.
     pub fn purge_creator(&mut self, creator: &NodeId) {
-        if self.by_creator.remove(creator).is_some() {
-            self.by_id.retain(|id, _| id.creator != *creator);
+        if let Some(index) = self.by_creator.remove(creator) {
+            for ts in index {
+                self.by_id.remove(&DescriptorId {
+                    creator: *creator,
+                    created_at: Timestamp(ts),
+                });
+            }
         }
     }
 }

@@ -341,6 +341,14 @@ impl SecureDescriptor {
         self.states[self.chain.len()]
     }
 
+    /// Running digest after the first `len` links (`len == 0` is the
+    /// genesis digest). The digest commits to every field of every link
+    /// up to `len`, so two copies with equal prefix digests have
+    /// byte-identical prefixes.
+    pub(crate) fn prefix_state(&self, len: usize) -> &Digest {
+        &self.states[len]
+    }
+
     /// Appends a signed ownership transfer to `to`, returning the extended
     /// descriptor. The caller should discard `self` afterwards — keeping
     /// and reusing it is exactly the cloning violation the protocol
@@ -380,10 +388,22 @@ impl SecureDescriptor {
         let msg = link_message(&state, &to, kind);
         let sig = owner.sign(&msg);
         let link = ChainLink { to, kind, sig };
-        let mut next = self.clone();
-        Arc::make_mut(&mut next.states).push(next_state(&state, &link));
-        Arc::make_mut(&mut next.chain).push(link);
-        Ok(next)
+        // Build the extended vectors directly at their final capacity:
+        // the shared `Arc` storage is almost always aliased by view and
+        // cache copies, so `Arc::make_mut` + `push` would copy at exact
+        // capacity and then immediately reallocate to grow — two
+        // copies per append instead of one.
+        let mut states = Vec::with_capacity(self.states.len() + 1);
+        states.extend_from_slice(&self.states);
+        states.push(next_state(&state, &link));
+        let mut chain = Vec::with_capacity(self.chain.len() + 1);
+        chain.extend_from_slice(&self.chain);
+        chain.push(link);
+        Ok(SecureDescriptor {
+            genesis: self.genesis,
+            chain: Arc::new(chain),
+            states: Arc::new(states),
+        })
     }
 
     /// Fully verifies the descriptor: genesis signature, every link
@@ -504,6 +524,175 @@ impl SecureDescriptor {
             memo.insert(*s);
         }
         Ok(())
+    }
+
+    /// Verifies several descriptors at once against one memo, collecting
+    /// every non-memoized signature check across the whole batch into a
+    /// single [`sc_crypto::verify_batch`] call — one batched crypto bill
+    /// for the entire received message instead of a signature-by-signature
+    /// drip. Returns one verdict per descriptor, in input order.
+    ///
+    /// **Result-identical to the sequential path**: each verdict equals
+    /// what `descs[i].verify_with(memo)` would return when the descriptors
+    /// are processed one by one in input order, including *which* check a
+    /// failing descriptor is blamed for. The argument:
+    ///
+    /// * Per descriptor, checks are collected in exactly the order
+    ///   [`SecureDescriptor::verify_with`] would perform them (genesis
+    ///   first when no prefix is memoized, then links past the memoized
+    ///   prefix), and collection stops at the first structural error just
+    ///   as the sequential walk would. The verdict is the positionally
+    ///   first failing collected check, else the structural error, else
+    ///   `Ok` — the same precedence the inline walk applies.
+    /// * Signature validity is a pure function of `(key, message,
+    ///   signature)`, and [`sc_crypto::verify_batch`] attributes failures
+    ///   exactly (bisection confirmed by per-signature checks), so pooling
+    ///   checks across descriptors cannot change any individual verdict.
+    /// * Sequential interleaving — descriptor `k+1` seeing prefixes that
+    ///   descriptor `k` just memoized — only ever lets the sequential path
+    ///   *skip* checks that the batched path re-collects; those checks
+    ///   belong to byte-identical prefixes already proven valid, so the
+    ///   extra evaluations all pass and verdicts agree. Duplicate
+    ///   descriptors (equal state digests) short-circuit to the first
+    ///   copy's verdict, mirroring the sequential exact-hit.
+    /// * The memo ends up with the same contents: successes memoize their
+    ///   prefix digests in input order, failures memoize nothing, and
+    ///   re-inserting an already-present digest is a no-op (so the FIFO
+    ///   eviction order matches the sequential schedule too).
+    pub fn verify_batch_with(
+        descs: &[&Self],
+        memo: &mut VerifyMemo,
+    ) -> Vec<Result<(), DescriptorError>> {
+        /// How one descriptor's verdict is determined after the pooled
+        /// signature checks come back.
+        enum Plan {
+            /// Decided without any signature checks (exact memo hit).
+            Done,
+            /// Same state digest as an earlier descriptor in this batch:
+            /// copy its verdict (the sequential path's exact-hit, or an
+            /// identical re-walk after an identical failure).
+            DupOf(usize),
+            /// Pending signature checks `checks` (a range into the flat
+            /// check arrays, in walk order), a structural error positioned
+            /// after all of them (collection stopped there), and the index
+            /// of the first prefix digest to memoize on success.
+            Pending {
+                checks: std::ops::Range<usize>,
+                structural: Option<DescriptorError>,
+                first_new: usize,
+            },
+        }
+
+        let mut plans: Vec<Plan> = Vec::with_capacity(descs.len());
+        let mut seen_tips: sc_crypto::FxHashMap<Digest, usize> =
+            sc_crypto::FxHashMap::with_capacity_and_hasher(descs.len(), Default::default());
+        // Flat parallel arrays of collected checks; contiguous per
+        // descriptor because collection is descriptor-major.
+        let mut check_pk: Vec<PublicKey> = Vec::new();
+        let mut check_msg: Vec<Digest> = Vec::new();
+        let mut check_sig: Vec<Signature> = Vec::new();
+        let mut check_err: Vec<DescriptorError> = Vec::new();
+
+        for (di, d) in descs.iter().enumerate() {
+            let n = d.chain.len();
+            let states: &[Digest] = &d.states;
+            debug_assert_eq!(states.len(), n + 1, "prefix digests out of sync");
+            if memo.contains(&states[n]) {
+                plans.push(Plan::Done);
+                continue;
+            }
+            if let Some(&first) = seen_tips.get(&states[n]) {
+                plans.push(Plan::DupOf(first));
+                continue;
+            }
+            seen_tips.insert(states[n], di);
+            let verified_prefix = (0..n).rev().find(|&i| memo.contains(&states[i]));
+            let start = check_pk.len();
+            if verified_prefix.is_none() {
+                check_pk.push(d.genesis.creator);
+                check_msg.push(genesis_message(
+                    &d.genesis.creator,
+                    d.genesis.addr,
+                    d.genesis.created_at,
+                ));
+                check_sig.push(d.genesis.sig);
+                check_err.push(DescriptorError::BadGenesisSignature);
+            }
+            let skip = verified_prefix.unwrap_or(0);
+            let mut structural = None;
+            let mut owner: PublicKey = d.genesis.creator;
+            for (i, link) in d.chain.iter().enumerate() {
+                if link.kind.is_redemption() {
+                    if i != n - 1 {
+                        structural = Some(DescriptorError::RedemptionNotTerminal);
+                        break;
+                    }
+                    if link.to != d.genesis.creator {
+                        structural = Some(DescriptorError::RedemptionNotToCreator);
+                        break;
+                    }
+                } else if link.to == owner {
+                    structural = Some(DescriptorError::TransferToSelf);
+                    break;
+                }
+                if i >= skip {
+                    check_pk.push(owner);
+                    check_msg.push(link_message(&states[i], &link.to, link.kind));
+                    check_sig.push(link.sig);
+                    check_err.push(DescriptorError::BadLinkSignature { index: i });
+                }
+                owner = link.to;
+            }
+            plans.push(Plan::Pending {
+                checks: start..check_pk.len(),
+                structural,
+                first_new: verified_prefix.map_or(0, |i| i + 1),
+            });
+        }
+
+        // One combined pass over every collected check. `verify_batch`
+        // reports only the first invalid index, so confirmed-bad checks
+        // are struck out and the remainder re-batched until the rest pass
+        // — one extra round per forged signature, none in the honest case.
+        let total = check_pk.len();
+        let mut bad = vec![false; total];
+        loop {
+            let live: Vec<usize> = (0..total).filter(|&i| !bad[i]).collect();
+            let view: Vec<(&PublicKey, &[u8], &Signature)> = live
+                .iter()
+                .map(|&i| (&check_pk[i], check_msg[i].as_slice(), &check_sig[i]))
+                .collect();
+            match sc_crypto::verify_batch(&view) {
+                Ok(()) => break,
+                Err(k) => bad[live[k]] = true,
+            }
+        }
+
+        let mut results: Vec<Result<(), DescriptorError>> = Vec::with_capacity(descs.len());
+        for (di, plan) in plans.iter().enumerate() {
+            let res = match plan {
+                Plan::Done => Ok(()),
+                Plan::DupOf(first) => results[*first],
+                Plan::Pending {
+                    checks,
+                    structural,
+                    first_new,
+                } => match checks.clone().find(|&i| bad[i]) {
+                    Some(i) => Err(check_err[i]),
+                    None => match structural {
+                        Some(e) => Err(*e),
+                        None => {
+                            for s in &descs[di].states[*first_new..] {
+                                memo.insert(*s);
+                            }
+                            Ok(())
+                        }
+                    },
+                },
+            };
+            results.push(res);
+        }
+        results
     }
 }
 
@@ -862,6 +1051,181 @@ mod tests {
         let extended = copy.transfer(&b, kp(3).public()).unwrap();
         assert_eq!(d.chain().len(), 1);
         assert_eq!(extended.chain().len(), 2);
+    }
+
+    /// Oracle: batched verification must equal one-by-one sequential
+    /// `verify_with` — same verdicts in order, same final memo contents.
+    fn assert_batch_matches_sequential(descs: &[&SecureDescriptor], capacity: usize) {
+        let mut seq_memo = VerifyMemo::new(capacity);
+        let expected: Vec<_> = descs.iter().map(|d| d.verify_with(&mut seq_memo)).collect();
+        let mut batch_memo = VerifyMemo::new(capacity);
+        let got = SecureDescriptor::verify_batch_with(descs, &mut batch_memo);
+        assert_eq!(got, expected, "verdicts diverge from sequential");
+        assert_eq!(
+            batch_memo.len(),
+            seq_memo.len(),
+            "memo sizes diverge from sequential"
+        );
+        // Same contents: every digest the sequential path memoized must
+        // hit in the batched memo (and sizes already match).
+        for d in descs {
+            for i in 0..=d.chain().len() {
+                assert_eq!(
+                    batch_memo.contains(&d.states[i]),
+                    seq_memo.contains(&d.states[i]),
+                    "memo contents diverge at prefix {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_on_valid_batches() {
+        let keys: Vec<Keypair> = (0..8).map(kp).collect();
+        let mut descs = Vec::new();
+        for len in 0..6usize {
+            let mut d = SecureDescriptor::create(&keys[len % 8], 0, Timestamp(len as u64));
+            for i in 0..len {
+                d = d
+                    .transfer(&keys[(len + i) % 8], keys[(len + i + 1) % 8].public())
+                    .unwrap();
+            }
+            descs.push(d);
+        }
+        let refs: Vec<&SecureDescriptor> = descs.iter().collect();
+        assert_batch_matches_sequential(&refs, 64);
+        // And with a tiny memo, exercising FIFO eviction mid-batch.
+        assert_batch_matches_sequential(&refs, 3);
+        // And with memoization disabled entirely.
+        assert_batch_matches_sequential(&refs, 0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_with_forgeries_at_every_position() {
+        let (a, b, c) = (kp(1), kp(2), kp(3));
+        let mut descs = Vec::new();
+        for v in 0..4u8 {
+            let d = SecureDescriptor::create(&a, Addr::from(v), Timestamp(v as u64))
+                .transfer(&a, b.public())
+                .unwrap()
+                .transfer(&b, c.public())
+                .unwrap();
+            descs.push(d);
+        }
+        // For each victim descriptor and each tamper point (genesis or a
+        // link), the batch must blame exactly the descriptor and check the
+        // sequential path blames, and admit every honest one.
+        for victim in 0..descs.len() {
+            for tamper_link in [None, Some(0), Some(1)] {
+                let mut batch = descs.clone();
+                match tamper_link {
+                    None => {
+                        let mut g = *batch[victim].genesis();
+                        g.addr ^= 1;
+                        batch[victim] =
+                            SecureDescriptor::from_parts(g, batch[victim].chain().to_vec());
+                    }
+                    Some(li) => {
+                        let mut links = batch[victim].chain().to_vec();
+                        let mut sig = *links[li].sig.as_bytes();
+                        sig[8] ^= 0x40;
+                        links[li].sig = Signature::from_bytes(sig);
+                        batch[victim] =
+                            SecureDescriptor::from_parts(*batch[victim].genesis(), links);
+                    }
+                }
+                let refs: Vec<&SecureDescriptor> = batch.iter().collect();
+                assert_batch_matches_sequential(&refs, 64);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_on_structural_errors() {
+        let (a, b, c) = (kp(1), kp(2), kp(3));
+        let redeemed = SecureDescriptor::create(&a, 0, Timestamp(0))
+            .transfer(&a, b.public())
+            .unwrap()
+            .redeem(&b, LinkKind::Redeem)
+            .unwrap();
+        // Post-redemption extension (RedemptionNotTerminal).
+        let mut links = redeemed.chain().to_vec();
+        let msg = link_message(&redeemed.state_digest(), &c.public(), LinkKind::Transfer);
+        links.push(ChainLink {
+            to: c.public(),
+            kind: LinkKind::Transfer,
+            sig: a.sign(&msg),
+        });
+        let not_terminal = SecureDescriptor::from_parts(*redeemed.genesis(), links);
+        // Redemption at a third party (RedemptionNotToCreator).
+        let base = SecureDescriptor::create(&a, 1, Timestamp(0))
+            .transfer(&a, b.public())
+            .unwrap();
+        let mut links = base.chain().to_vec();
+        let msg = link_message(&base.state_digest(), &c.public(), LinkKind::Redeem);
+        links.push(ChainLink {
+            to: c.public(),
+            kind: LinkKind::Redeem,
+            sig: b.sign(&msg),
+        });
+        let wrong_target = SecureDescriptor::from_parts(*base.genesis(), links);
+        let good = SecureDescriptor::create(&c, 2, Timestamp(0));
+        let refs: Vec<&SecureDescriptor> = vec![&not_terminal, &good, &wrong_target, &redeemed];
+        assert_batch_matches_sequential(&refs, 64);
+    }
+
+    #[test]
+    fn batch_matches_sequential_on_duplicates_and_shared_prefixes() {
+        let keys: Vec<Keypair> = (0..8).map(kp).collect();
+        let base = SecureDescriptor::create(&keys[0], 0, Timestamp(0))
+            .transfer(&keys[0], keys[1].public())
+            .unwrap();
+        let extended = base.transfer(&keys[1], keys[2].public()).unwrap();
+        let fork = base.transfer(&keys[1], keys[3].public()).unwrap();
+        // Duplicates, a prefix after its extension, and two forks — the
+        // interleaving cases where sequential memoization lets later
+        // descriptors skip checks the batch re-collects.
+        let refs: Vec<&SecureDescriptor> = vec![&extended, &base, &extended, &fork, &base];
+        assert_batch_matches_sequential(&refs, 64);
+        // Same batch but with the shared prefix carrying a forged link:
+        // every chain built on it must be blamed identically.
+        let mut links = extended.chain().to_vec();
+        let mut sig = *links[0].sig.as_bytes();
+        sig[3] ^= 2;
+        links[0].sig = Signature::from_bytes(sig);
+        let bad_ext = SecureDescriptor::from_parts(*extended.genesis(), links);
+        let refs: Vec<&SecureDescriptor> = vec![&bad_ext, &base, &bad_ext, &fork];
+        assert_batch_matches_sequential(&refs, 64);
+    }
+
+    #[test]
+    fn batch_against_warm_memo_skips_memoized_prefixes() {
+        let keys: Vec<Keypair> = (0..8).map(kp).collect();
+        let mut d = SecureDescriptor::create(&keys[0], 0, Timestamp(0));
+        for i in 0..16 {
+            d = d
+                .transfer(&keys[i % 8], keys[(i + 1) % 8].public())
+                .unwrap();
+        }
+        let mut memo = VerifyMemo::new(1024);
+        d.verify_with(&mut memo).unwrap();
+        let extended = d.transfer(&keys[16 % 8], keys[17 % 8].public()).unwrap();
+        // Exact hit plus extend-by-one: two lookups for the exact copy,
+        // tip-miss + prefix-hit for the extension — no chain walk.
+        let lookups_before = memo.lookups();
+        let results = SecureDescriptor::verify_batch_with(&[&d, &extended], &mut memo);
+        assert_eq!(results, vec![Ok(()), Ok(())]);
+        assert_eq!(
+            memo.lookups() - lookups_before,
+            3,
+            "exact hit (1) + tip miss and prefix hit (2)"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let mut memo = VerifyMemo::new(8);
+        assert!(SecureDescriptor::verify_batch_with(&[], &mut memo).is_empty());
     }
 
     #[test]

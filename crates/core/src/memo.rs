@@ -30,13 +30,17 @@
 //! is dropped, degrading gracefully to full verification. A capacity of
 //! zero disables memoization entirely.
 
-use sc_crypto::Digest;
-use std::collections::{HashSet, VecDeque};
+use sc_crypto::{Digest, FxHashSet};
+use std::collections::VecDeque;
 
 /// Bounded FIFO set of state digests of verified chain prefixes.
+///
+/// Keys are SHA-256 digests, so the non-flooding-resistant
+/// [`sc_crypto::fxhash`] hasher is safe here: biasing its 64-bit folds
+/// would require grinding the underlying hash.
 #[derive(Clone, Debug)]
 pub struct VerifyMemo {
-    set: HashSet<Digest>,
+    set: FxHashSet<Digest>,
     fifo: VecDeque<Digest>,
     capacity: usize,
     lookups: u64,
@@ -48,7 +52,7 @@ impl VerifyMemo {
     /// `capacity == 0` disables memoization (every lookup misses).
     pub fn new(capacity: usize) -> Self {
         VerifyMemo {
-            set: HashSet::with_capacity(capacity.min(4096)),
+            set: FxHashSet::with_capacity_and_hasher(capacity.min(4096), Default::default()),
             fifo: VecDeque::with_capacity(capacity.min(4096)),
             capacity,
             lookups: 0,

@@ -30,9 +30,10 @@ use crate::time::Timestamp;
 use crate::view::SecureView;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use sc_crypto::{FxHashMap, FxHashSet};
 use sc_crypto::{Keypair, NodeId};
 use sc_sim::{Addr, CycleCtx, NodeCtx, RpcOutcome, SimNode};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Per-node protocol counters, exposed for experiments and tests.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -135,7 +136,7 @@ pub struct SecureCyclonNode {
     reserve: VecDeque<SecureDescriptor>,
     /// Our descriptors redeemed with a *regular* redemption (replay
     /// refusal), with the cycle the redemption was accepted.
-    redeemed_regular: HashMap<DescriptorId, u64>,
+    redeemed_regular: FxHashMap<DescriptorId, u64>,
     /// State digests this node has already signed a continuation for
     /// (transfer or redemption), with the signing cycle. Intake refuses a
     /// byte-identical copy of a spent state: with deterministic signatures
@@ -143,13 +144,13 @@ pub struct SecureCyclonNode {
     /// continued, and a second innocent continuation would hand observers
     /// a valid §IV-B cloning proof *against the honest victim*. Pruned on
     /// the sample-retention horizon, like the caches the proofs feed on.
-    spent_states: HashMap<sc_crypto::Digest, u64>,
+    spent_states: FxHashMap<sc_crypto::Digest, u64>,
     /// Descriptors of ours ever redeemed non-swappably (§V-A rule 1).
-    ns_redeemed_ids: HashSet<DescriptorId>,
+    ns_redeemed_ids: FxHashSet<DescriptorId>,
     /// (cycle, count) of NS redemptions accepted this cycle (§V-A rule 2).
     ns_accepted: (u64, u32),
     /// Open tit-for-tat exchanges, keyed by initiator address.
-    sessions: HashMap<Addr, Session>,
+    sessions: FxHashMap<Addr, Session>,
     /// Cycle in which the last NS back-fill was performed (creation of NS
     /// copies is rate-limited to one per cycle, mirroring §V-A rule 2 on
     /// the acceptance side).
@@ -210,11 +211,11 @@ impl SecureCyclonNode {
             transfer_history: VecDeque::with_capacity(cfg.transfer_history_len),
             blacklist: Blacklist::new(),
             reserve: VecDeque::new(),
-            redeemed_regular: HashMap::new(),
-            spent_states: HashMap::new(),
-            ns_redeemed_ids: HashSet::new(),
+            redeemed_regular: FxHashMap::default(),
+            spent_states: FxHashMap::default(),
+            ns_redeemed_ids: FxHashSet::default(),
             ns_accepted: (0, 0),
-            sessions: HashMap::new(),
+            sessions: FxHashMap::default(),
             last_ns_backfill: None,
             sponsored_cycle: None,
             outbox: Vec::new(),
@@ -501,6 +502,26 @@ impl SecureCyclonNode {
         self.check_only(desc, cycle)
     }
 
+    /// Pools the signature checks of every descriptor a received message
+    /// asks this node to rely on into **one** batched verification
+    /// ([`SecureDescriptor::verify_batch_with`]), warming the
+    /// verified-prefix memo so the per-descriptor intake gates that follow
+    /// are O(1) exact hits. Samples deliberately contribute nothing here —
+    /// they are verified lazily, only on §IV-B conflict (see
+    /// `sc_core::checks`), so they carry no intake-time checks to pool.
+    ///
+    /// Verdict-neutral by construction: `verify_batch_with` returns
+    /// per-descriptor results identical to sequential `verify_with`, and
+    /// only genuinely verified prefixes enter the memo, so the gates that
+    /// re-run afterwards decide exactly as the sequential pipeline does —
+    /// this call just front-loads their crypto into one combined pass.
+    fn prewarm_verify(&mut self, descs: &[&SecureDescriptor]) {
+        if !self.cfg.batched_intake || descs.is_empty() {
+            return;
+        }
+        let _ = SecureDescriptor::verify_batch_with(descs, &mut self.verify_memo);
+    }
+
     fn check_only(&mut self, desc: &SecureDescriptor, cycle: u64) -> bool {
         self.stats.samples_processed += 1;
         match self.samples.observe_with(
@@ -703,6 +724,17 @@ impl SecureCyclonNode {
             proofs,
         } = body;
 
+        // -- one batched crypto bill for the whole request --------------
+        // Certificate, fresh descriptor, and any eagerly offered
+        // transfers verify in one combined pass; the gates below then hit
+        // the memo instead of paying per-signature. (Samples are lazily
+        // verified and add no checks.)
+        let mut to_verify: Vec<&SecureDescriptor> = Vec::with_capacity(2 + offered.len());
+        to_verify.push(&redeemed);
+        to_verify.push(&fresh);
+        to_verify.extend(offered.iter());
+        self.prewarm_verify(&to_verify);
+
         // -- validate the redemption certificate -----------------------
         // Incremental: the certificate's chain prefix is usually already
         // memoized from the sample stream, so only recent links pay.
@@ -779,7 +811,8 @@ impl SecureCyclonNode {
         // `samples_processed` honest and saves redundant cache walks.
         #[cfg(debug_assertions)]
         let samples_processed_before = self.stats.samples_processed;
-        let mut observed: HashSet<sc_crypto::Digest> = HashSet::with_capacity(samples.len() + 2);
+        let mut observed: FxHashSet<sc_crypto::Digest> =
+            FxHashSet::with_capacity_and_hasher(samples.len() + 2, Default::default());
         observed.insert(redeemed.state_digest());
         observed.insert(fresh.state_digest());
         let red_ok = self.absorb_descriptor(&redeemed, cycle);
@@ -985,6 +1018,8 @@ impl SecureCyclonNode {
                 }
                 let expect = if self.cfg.tit_for_tat { 1 } else { quota };
                 let got_any = !transfers.is_empty();
+                let incoming: Vec<&SecureDescriptor> = transfers.iter().take(expect).collect();
+                self.prewarm_verify(&incoming);
                 for t in transfers.into_iter().take(expect) {
                     self.accept_transfer(t, partner_id, cycle);
                 }

@@ -1,0 +1,137 @@
+//! A fast, non-cryptographic hasher for the protocol's hot lookup tables.
+//!
+//! The verification pipeline keys its caches by values that are either
+//! already uniformly distributed (SHA-256 [`Digest`](crate::Digest)
+//! prefixes, public keys derived from seeds) or drawn from a small dense
+//! space (simulator addresses). SipHash's flooding resistance buys nothing
+//! there, while its per-byte cost shows up directly in the per-cycle
+//! profile — `std`'s `DefaultHasher` alone was ~7% of a simulated
+//! SecureCyclon cycle. This module provides the standard Fx construction
+//! (rotate, xor, multiply by a single odd constant, as used by rustc's
+//! interners): one multiply per 8-byte chunk.
+//!
+//! Use it for internal, bounded tables. It is **not** suitable where an
+//! adversary can grow a table with chosen keys faster than the protocol
+//! bounds it — every use in this workspace is capacity-bounded or keyed
+//! by digests the adversary would have to grind SHA-256 to bias.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the Fx construction: an arbitrary odd constant close
+/// to the golden ratio in fixed point, so products diffuse well.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-multiply-per-word hasher (the Fx construction).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_distinguishing() {
+        let a = [0u8; 32];
+        let mut b = [0u8; 32];
+        b[31] = 1;
+        assert_eq!(hash_of(&a), hash_of(&a));
+        assert_ne!(hash_of(&a), hash_of(&b), "trailing byte must matter");
+    }
+
+    #[test]
+    fn tail_bytes_reach_the_state() {
+        // 9 bytes: one full chunk plus a 1-byte remainder.
+        let a = [1u8, 2, 3, 4, 5, 6, 7, 8, 9];
+        let b = [1u8, 2, 3, 4, 5, 6, 7, 8, 10];
+        assert_ne!(hash_of(&a.as_slice()), hash_of(&b.as_slice()));
+    }
+
+    #[test]
+    fn integer_writes_differ_by_value() {
+        let mut h1 = FxHasher::default();
+        h1.write_u64(7);
+        let mut h2 = FxHasher::default();
+        h2.write_u64(8);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn low_bits_spread_for_sequential_keys() {
+        // Hashbrown uses the low bits for bucket selection; sequential
+        // simulator addresses must not collapse onto a few buckets.
+        let mut low: FxHashSet<u64> = FxHashSet::default();
+        for addr in 0u32..64 {
+            low.insert(hash_of(&addr) & 0x3f);
+        }
+        assert!(
+            low.len() > 32,
+            "64 sequential keys hit {} buckets",
+            low.len()
+        );
+    }
+}

@@ -115,6 +115,47 @@ impl PublicKey {
     }
 }
 
+/// Verifies a batch of `(key, message, signature)` checks, amortizing the
+/// group arithmetic across every Schnorr signature in the batch.
+///
+/// Returns `Ok(())` when every check passes, or `Err(i)` with the lowest
+/// index whose check fails — exactly the index a sequential loop over
+/// [`PublicKey::verify`] would report first. Schnorr signatures are
+/// collected into one [`schnorr61::batch_verify`] call (shared squarings,
+/// one fixed-base exponentiation); keyed-hash signatures are recomputed
+/// individually since each is a single hash with nothing to amortize.
+pub fn verify_batch(checks: &[(&PublicKey, &[u8], &Signature)]) -> Result<(), usize> {
+    let mut items: Vec<schnorr61::BatchItem<'_>> = Vec::with_capacity(checks.len());
+    let mut item_indices: Vec<usize> = Vec::with_capacity(checks.len());
+    // First failing non-batched check (keyed hash, malformed tag, …).
+    let mut first_other: Option<usize> = None;
+    for (i, (pk, msg, sig)) in checks.iter().enumerate() {
+        match pk.scheme() {
+            Scheme::Schnorr61 if sig.0[0] == TAG_SCHNORR => {
+                items.push(schnorr61::BatchItem {
+                    pk: u64::from_be_bytes(pk.0[1..9].try_into().expect("slice len 8")),
+                    msg,
+                    r: u64::from_be_bytes(sig.0[1..9].try_into().expect("slice len 8")),
+                    s: u64::from_be_bytes(sig.0[9..17].try_into().expect("slice len 8")),
+                });
+                item_indices.push(i);
+            }
+            _ => {
+                if first_other.is_none() && !pk.verify(msg, sig) {
+                    first_other = Some(i);
+                }
+            }
+        }
+    }
+    let first_schnorr = schnorr61::batch_verify(&items)
+        .err()
+        .map(|j| item_indices[j]);
+    match (first_other, first_schnorr) {
+        (None, None) => Ok(()),
+        (a, b) => Err(a.unwrap_or(usize::MAX).min(b.unwrap_or(usize::MAX))),
+    }
+}
+
 impl core::fmt::Debug for PublicKey {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "PublicKey({})", to_hex(&self.0))

@@ -11,6 +11,8 @@
 //!   over a toy group ([`schnorr61`]) and a fast keyed-hash scheme for
 //!   large-scale simulations.
 //! * [`hex`] — tiny hex codec for display purposes.
+//! * [`fxhash`] — a one-multiply-per-word hasher for the protocol's hot
+//!   digest-keyed lookup tables (not flooding-resistant; see module docs).
 //!
 //! # Quickstart
 //!
@@ -23,13 +25,20 @@
 //! assert!(node_id.verify(b"descriptor bytes", &sig));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SHA-256 module opts a single
+// runtime-feature-gated intrinsics path (SHA-NI) back in with a scoped
+// `#[allow(unsafe_code)]`. Everything else in the crate stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fxhash;
 pub mod hex;
 pub mod keys;
 pub mod schnorr61;
 pub mod sha256;
 
-pub use keys::{Keypair, NodeId, PublicKey, Scheme, Signature, PUBLIC_KEY_LEN, SIGNATURE_LEN};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use keys::{
+    verify_batch, Keypair, NodeId, PublicKey, Scheme, Signature, PUBLIC_KEY_LEN, SIGNATURE_LEN,
+};
 pub use sha256::{sha256, sha256_concat, Digest, Sha256, DIGEST_LEN};

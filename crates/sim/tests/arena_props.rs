@@ -29,7 +29,7 @@ proptest! {
         let mut alive: HashSet<Addr> = HashSet::new();
         for (op, pick) in ops {
             if op == 0 || issued.is_empty() {
-                let addr = arena.insert_with(|a| u64::from(a));
+                let addr = arena.insert_with(u64::from);
                 prop_assert!(
                     !issued.contains(&addr),
                     "address {addr} was issued twice"

@@ -93,7 +93,7 @@ impl OracleSuite {
     /// Runs every enabled per-cycle oracle. `step` is the 0-based run
     /// step; the reported cycle is the absolute engine cycle.
     pub fn check_cycle(&mut self, net: &SecureNetwork, step: u64) -> Result<(), Violation> {
-        if step % self.cfg.stride.max(1) != 0 {
+        if !step.is_multiple_of(self.cfg.stride.max(1)) {
             return Ok(());
         }
         let cycle = net.engine.cycle();

@@ -187,7 +187,7 @@ mod tests {
 
     #[test]
     fn scope_tasks_can_borrow_stack_data() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total = Mutex::new(0u64);
         scope(|s| {
             for chunk in data.chunks(2) {
