@@ -35,6 +35,20 @@ pub enum WireError {
     BadProof,
     /// Trailing bytes after a complete message.
     TrailingBytes,
+    /// The frame exceeds [`WireLimits::max_frame_bytes`].
+    FrameTooLarge {
+        /// Size of the offered frame in bytes.
+        len: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// A descriptor's ownership chain exceeds
+    /// [`WireLimits::max_chain_links`].
+    ChainTooLong(u16),
+    /// A descriptor list exceeds [`WireLimits::max_list_len`].
+    ListTooLong(u16),
+    /// A proof list exceeds [`WireLimits::max_proofs`].
+    TooManyProofs(u16),
 }
 
 impl core::fmt::Display for WireError {
@@ -47,11 +61,82 @@ impl core::fmt::Display for WireError {
             WireError::BadProofKind(t) => write!(f, "unknown proof kind tag {t}"),
             WireError::BadProof => write!(f, "proof evidence does not validate"),
             WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::ChainTooLong(n) => write!(f, "ownership chain of {n} links over limit"),
+            WireError::ListTooLong(n) => write!(f, "descriptor list of {n} entries over limit"),
+            WireError::TooManyProofs(n) => write!(f, "proof list of {n} entries over limit"),
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// Decode-side resource limits, enforced **before** any allocation.
+///
+/// Every length prefix on the wire is checked twice before a buffer is
+/// reserved for it: once against the configured cap, and once against the
+/// bytes actually remaining in the input (each chain link, descriptor, and
+/// proof has a known minimum encoded size). A hostile peer therefore
+/// cannot turn a 2-byte count into a multi-megabyte allocation — decoder
+/// memory is bounded by `min(input length, max_frame_bytes)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireLimits {
+    /// Maximum total frame size accepted by
+    /// [`decode_message_with`], in bytes.
+    pub max_frame_bytes: usize,
+    /// Maximum ownership-chain length per descriptor.
+    pub max_chain_links: usize,
+    /// Maximum entries in one descriptor list (offers, samples,
+    /// transfers).
+    pub max_list_len: usize,
+    /// Maximum violation proofs per message.
+    pub max_proofs: usize,
+}
+
+impl WireLimits {
+    /// Default limits: far above anything the protocol produces (views
+    /// are tens of entries, chains tens of links) yet small enough that a
+    /// maximal hostile frame stays in the low megabytes.
+    pub const DEFAULT: WireLimits = WireLimits {
+        max_frame_bytes: 4 << 20,
+        max_chain_links: 4096,
+        max_list_len: 4096,
+        max_proofs: 1024,
+    };
+}
+
+impl Default for WireLimits {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// Minimum encoded size of one chain link.
+const LINK_MIN_BYTES: usize = PUBLIC_KEY_LEN + 1 + SIGNATURE_LEN;
+/// Minimum encoded size of one descriptor (genesis + empty chain).
+const DESCRIPTOR_MIN_BYTES: usize = PUBLIC_KEY_LEN + 4 + 8 + SIGNATURE_LEN + 2;
+/// Minimum encoded size of one proof (kind + two minimal descriptors).
+const PROOF_MIN_BYTES: usize = 1 + 2 * DESCRIPTOR_MIN_BYTES;
+
+/// Rejects a count whose elements cannot possibly fit in the remaining
+/// input, so `Vec::with_capacity` never outruns the bytes backing it.
+fn check_count(
+    n: usize,
+    max: usize,
+    remaining: usize,
+    min_elem: usize,
+    over: WireError,
+) -> Result<(), WireError> {
+    if n > max {
+        return Err(over);
+    }
+    if n.saturating_mul(min_elem) > remaining {
+        return Err(WireError::UnexpectedEnd);
+    }
+    Ok(())
+}
 
 struct Reader<'a> {
     buf: &'a [u8],
@@ -145,12 +230,32 @@ pub fn encode_descriptor(desc: &SecureDescriptor, out: &mut Vec<u8>) {
 /// *structurally* well-formed but not signature-verified; callers must run
 /// [`SecureDescriptor::verify`].
 pub fn decode_descriptor(buf: &[u8]) -> Result<(SecureDescriptor, usize), WireError> {
+    decode_descriptor_with(buf, &WireLimits::DEFAULT)
+}
+
+/// [`decode_descriptor`] with caller-supplied [`WireLimits`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on malformed input or when the chain length
+/// prefix exceeds `limits.max_chain_links`.
+pub fn decode_descriptor_with(
+    buf: &[u8],
+    limits: &WireLimits,
+) -> Result<(SecureDescriptor, usize), WireError> {
     let mut r = Reader { buf, pos: 0 };
     let creator = r.key()?;
     let addr = r.u32()?;
     let created_at = Timestamp(r.u64()?);
     let sig = r.sig()?;
     let n = r.u16()? as usize;
+    check_count(
+        n,
+        limits.max_chain_links,
+        buf.len() - r.pos,
+        LINK_MIN_BYTES,
+        WireError::ChainTooLong(n as u16),
+    )?;
     let mut chain = Vec::with_capacity(n);
     for _ in 0..n {
         let to = r.key()?;
@@ -364,15 +469,25 @@ fn encode_vec(descs: &[SecureDescriptor], out: &mut Vec<u8>) {
     }
 }
 
-fn decode_vec(buf: &[u8]) -> Result<(Vec<SecureDescriptor>, usize), WireError> {
+fn decode_vec(
+    buf: &[u8],
+    limits: &WireLimits,
+) -> Result<(Vec<SecureDescriptor>, usize), WireError> {
     if buf.len() < 2 {
         return Err(WireError::UnexpectedEnd);
     }
     let n = u16::from_be_bytes([buf[0], buf[1]]) as usize;
     let mut pos = 2;
+    check_count(
+        n,
+        limits.max_list_len,
+        buf.len() - pos,
+        DESCRIPTOR_MIN_BYTES,
+        WireError::ListTooLong(n as u16),
+    )?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        let (d, used) = decode_descriptor(&buf[pos..])?;
+        let (d, used) = decode_descriptor_with(&buf[pos..], limits)?;
         pos += used;
         out.push(d);
     }
@@ -399,14 +514,28 @@ pub fn encode_proof(proof: &ViolationProof, out: &mut Vec<u8>) {
 /// [`WireError::BadProof`] if the evidence fails to prove the claimed
 /// violation under `period_ticks` — forged proofs never survive decoding.
 pub fn decode_proof(buf: &[u8], period_ticks: u64) -> Result<(ViolationProof, usize), WireError> {
+    decode_proof_with(buf, period_ticks, &WireLimits::DEFAULT)
+}
+
+/// [`decode_proof`] with caller-supplied [`WireLimits`].
+///
+/// # Errors
+///
+/// As [`decode_proof`], plus the limit errors of
+/// [`decode_descriptor_with`].
+pub fn decode_proof_with(
+    buf: &[u8],
+    period_ticks: u64,
+    limits: &WireLimits,
+) -> Result<(ViolationProof, usize), WireError> {
     if buf.is_empty() {
         return Err(WireError::UnexpectedEnd);
     }
     let kind = buf[0];
     let mut pos = 1;
-    let (l, used) = decode_descriptor(&buf[pos..])?;
+    let (l, used) = decode_descriptor_with(&buf[pos..], limits)?;
     pos += used;
-    let (r, used) = decode_descriptor(&buf[pos..])?;
+    let (r, used) = decode_descriptor_with(&buf[pos..], limits)?;
     pos += used;
     let proof = match kind {
         0 => ViolationProof::cloning(l, r).map_err(|_| WireError::BadProof)?,
@@ -423,15 +552,26 @@ fn encode_proofs(proofs: &[ViolationProof], out: &mut Vec<u8>) {
     }
 }
 
-fn decode_proofs(buf: &[u8], period_ticks: u64) -> Result<(Vec<ViolationProof>, usize), WireError> {
+fn decode_proofs(
+    buf: &[u8],
+    period_ticks: u64,
+    limits: &WireLimits,
+) -> Result<(Vec<ViolationProof>, usize), WireError> {
     if buf.len() < 2 {
         return Err(WireError::UnexpectedEnd);
     }
     let n = u16::from_be_bytes([buf[0], buf[1]]) as usize;
     let mut pos = 2;
+    check_count(
+        n,
+        limits.max_proofs,
+        buf.len() - pos,
+        PROOF_MIN_BYTES,
+        WireError::TooManyProofs(n as u16),
+    )?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        let (p, used) = decode_proof(&buf[pos..], period_ticks)?;
+        let (p, used) = decode_proof_with(&buf[pos..], period_ticks, limits)?;
         pos += used;
         out.push(p);
     }
@@ -492,6 +632,30 @@ pub fn encode_message(msg: &SecureMsg, out: &mut Vec<u8>) {
 ///
 /// Any [`WireError`]; trailing bytes are an error.
 pub fn decode_message(buf: &[u8], period_ticks: u64) -> Result<SecureMsg, WireError> {
+    decode_message_with(buf, period_ticks, &WireLimits::DEFAULT)
+}
+
+/// [`decode_message`] with caller-supplied [`WireLimits`].
+///
+/// The frame-size cap is checked before anything else — an oversized
+/// input is rejected without reading a single structure — and every
+/// length prefix inside is validated against both its cap and the
+/// remaining bytes before allocation.
+///
+/// # Errors
+///
+/// Any [`WireError`]; trailing bytes are an error.
+pub fn decode_message_with(
+    buf: &[u8],
+    period_ticks: u64,
+    limits: &WireLimits,
+) -> Result<SecureMsg, WireError> {
+    if buf.len() > limits.max_frame_bytes {
+        return Err(WireError::FrameTooLarge {
+            len: buf.len(),
+            max: limits.max_frame_bytes,
+        });
+    }
     if buf.is_empty() {
         return Err(WireError::UnexpectedEnd);
     }
@@ -499,15 +663,15 @@ pub fn decode_message(buf: &[u8], period_ticks: u64) -> Result<SecureMsg, WireEr
     let mut pos = 1;
     let msg = match tag {
         MSG_REQUEST => {
-            let (redeemed, used) = decode_descriptor(&buf[pos..])?;
+            let (redeemed, used) = decode_descriptor_with(&buf[pos..], limits)?;
             pos += used;
-            let (fresh, used) = decode_descriptor(&buf[pos..])?;
+            let (fresh, used) = decode_descriptor_with(&buf[pos..], limits)?;
             pos += used;
-            let (offered, used) = decode_vec(&buf[pos..])?;
+            let (offered, used) = decode_vec(&buf[pos..], limits)?;
             pos += used;
-            let (samples, used) = decode_vec(&buf[pos..])?;
+            let (samples, used) = decode_vec(&buf[pos..], limits)?;
             pos += used;
-            let (proofs, used) = decode_proofs(&buf[pos..], period_ticks)?;
+            let (proofs, used) = decode_proofs(&buf[pos..], period_ticks, limits)?;
             pos += used;
             SecureMsg::Request(Box::new(RequestBody {
                 redeemed,
@@ -518,11 +682,11 @@ pub fn decode_message(buf: &[u8], period_ticks: u64) -> Result<SecureMsg, WireEr
             }))
         }
         MSG_ACCEPT => {
-            let (transfers, used) = decode_vec(&buf[pos..])?;
+            let (transfers, used) = decode_vec(&buf[pos..], limits)?;
             pos += used;
-            let (samples, used) = decode_vec(&buf[pos..])?;
+            let (samples, used) = decode_vec(&buf[pos..], limits)?;
             pos += used;
-            let (proofs, used) = decode_proofs(&buf[pos..], period_ticks)?;
+            let (proofs, used) = decode_proofs(&buf[pos..], period_ticks, limits)?;
             pos += used;
             SecureMsg::Accept(Box::new(AcceptBody {
                 transfers,
@@ -531,7 +695,7 @@ pub fn decode_message(buf: &[u8], period_ticks: u64) -> Result<SecureMsg, WireEr
             }))
         }
         MSG_ROUND => {
-            let (transfer, used) = decode_descriptor(&buf[pos..])?;
+            let (transfer, used) = decode_descriptor_with(&buf[pos..], limits)?;
             pos += used;
             SecureMsg::Round(Box::new(RoundBody { transfer }))
         }
@@ -539,19 +703,23 @@ pub fn decode_message(buf: &[u8], period_ticks: u64) -> Result<SecureMsg, WireEr
             if buf.len() < 2 {
                 return Err(WireError::UnexpectedEnd);
             }
-            let transfer = if buf[1] == 1 {
-                pos = 2;
-                let (d, used) = decode_descriptor(&buf[pos..])?;
-                pos += used;
-                Some(d)
-            } else {
-                pos = 2;
-                None
+            let transfer = match buf[1] {
+                1 => {
+                    pos = 2;
+                    let (d, used) = decode_descriptor_with(&buf[pos..], limits)?;
+                    pos += used;
+                    Some(d)
+                }
+                0 => {
+                    pos = 2;
+                    None
+                }
+                t => return Err(WireError::BadMessageTag(t)),
             };
             SecureMsg::RoundReply(Box::new(RoundReplyBody { transfer }))
         }
         MSG_PROOF => {
-            let (p, used) = decode_proof(&buf[pos..], period_ticks)?;
+            let (p, used) = decode_proof_with(&buf[pos..], period_ticks, limits)?;
             pos += used;
             SecureMsg::Proof(Box::new(p))
         }
@@ -683,6 +851,99 @@ mod message_tests {
         assert_eq!(
             decode_message(&[], PERIOD).unwrap_err(),
             WireError::UnexpectedEnd
+        );
+    }
+
+    #[test]
+    fn oversized_frames_rejected_before_parsing() {
+        let limits = WireLimits {
+            max_frame_bytes: 64,
+            ..WireLimits::DEFAULT
+        };
+        let msg = sample_request();
+        let mut buf = Vec::new();
+        encode_message(&msg, &mut buf);
+        assert!(buf.len() > 64);
+        assert_eq!(
+            decode_message_with(&buf, PERIOD, &limits).unwrap_err(),
+            WireError::FrameTooLarge {
+                len: buf.len(),
+                max: 64
+            }
+        );
+    }
+
+    #[test]
+    fn hostile_length_prefixes_cannot_force_allocation() {
+        // A descriptor claiming 65535 chain links backed by zero bytes:
+        // the remaining-bytes check fires before any allocation.
+        let d = SecureDescriptor::create(&kp(1), 1, Timestamp(0));
+        let mut buf = Vec::new();
+        encode_descriptor(&d, &mut buf);
+        let count_pos = buf.len() - 2;
+        buf[count_pos..].copy_from_slice(&u16::MAX.to_be_bytes());
+        assert_eq!(
+            decode_descriptor(&buf).unwrap_err(),
+            WireError::ChainTooLong(u16::MAX)
+        );
+        // A count under the cap but with no backing bytes trips the
+        // remaining-bytes check instead — still before allocation.
+        buf[count_pos..].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(
+            decode_descriptor(&buf).unwrap_err(),
+            WireError::UnexpectedEnd
+        );
+    }
+
+    #[test]
+    fn list_and_proof_caps_enforced() {
+        let a = kp(1);
+        let d = SecureDescriptor::create(&a, 1, Timestamp(7));
+        let limits = WireLimits {
+            max_list_len: 1,
+            max_proofs: 0,
+            ..WireLimits::DEFAULT
+        };
+        let msg = SecureMsg::Accept(Box::new(AcceptBody {
+            transfers: vec![d.clone(), d.clone()],
+            samples: vec![],
+            proofs: vec![],
+        }));
+        let mut buf = Vec::new();
+        encode_message(&msg, &mut buf);
+        assert_eq!(
+            decode_message_with(&buf, PERIOD, &limits).unwrap_err(),
+            WireError::ListTooLong(2)
+        );
+        // A hostile proof count with no backing bytes, kept under the
+        // cap, is caught by the remaining-bytes check under default
+        // limits too.
+        let msg = SecureMsg::Accept(Box::new(AcceptBody {
+            transfers: vec![],
+            samples: vec![],
+            proofs: vec![],
+        }));
+        let mut buf = Vec::new();
+        encode_message(&msg, &mut buf);
+        let n = buf.len();
+        buf[n - 2..].copy_from_slice(&500u16.to_be_bytes());
+        assert_eq!(
+            decode_message(&buf, PERIOD).unwrap_err(),
+            WireError::UnexpectedEnd
+        );
+        buf[n - 2..].copy_from_slice(&u16::MAX.to_be_bytes());
+        assert_eq!(
+            decode_message(&buf, PERIOD).unwrap_err(),
+            WireError::TooManyProofs(u16::MAX)
+        );
+    }
+
+    #[test]
+    fn round_reply_option_tag_validated() {
+        let bad = [MSG_ROUND_REPLY, 7];
+        assert_eq!(
+            decode_message(&bad, PERIOD).unwrap_err(),
+            WireError::BadMessageTag(7)
         );
     }
 

@@ -1,0 +1,539 @@
+//! The event loop: a `SecureCyclonNode` on a real socket.
+//!
+//! Single-threaded by construction — the paper's node alternates between
+//! one active gossip turn per cycle and passive request handling, so one
+//! loop suffices:
+//!
+//! 1. A wall-clock shared across the cluster (`--epoch-millis`) maps
+//!    real time to cycle numbers; each new cycle fires one active turn.
+//! 2. The turn runs the *engine-targeted* `on_cycle_any` unchanged,
+//!    behind a [`TurnDriver`] that carries its synchronous RPCs over TCP
+//!    frames. Frames that arrive while the turn blocks on a reply are
+//!    deferred and handled right after the turn — the same
+//!    mid-turn-busy semantics the simulator enforces, with the same
+//!    consequence: a busy peer looks like a timeout, which §V-A already
+//!    tolerates (discard, never clone).
+//! 3. Between turns the loop serves passive RPCs, proof floods, §V-A
+//!    join handshakes, and control-socket scrapes.
+//!
+//! Founding members compute the ring bootstrap locally from the shared
+//! cluster seed — a zero-message legal bootstrap. Late joiners and
+//! rejoiners enter through the sponsorship handshake
+//! ([`FrameKind::JoinRequest`] / [`FrameKind::JoinGrant`]).
+
+use crate::config::NodeConfig;
+use crate::control::StatusReport;
+use crate::frame::{Frame, FrameKind};
+use crate::transport::{ConnId, Inbound, TcpTransport, Transport};
+use sc_core::wire::{self, WireError};
+use sc_core::{ring_bootstrap, SecureCyclonNode, SecureMsg};
+use sc_crypto::{PublicKey, PUBLIC_KEY_LEN};
+use sc_sim::{testkit::with_node_ctx, Addr, CycleCtx, RpcOutcome, TurnDriver};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Outcome of a completed daemon run, for the binary's exit report.
+#[derive(Clone, Copy, Debug)]
+pub struct RunSummary {
+    /// Gossip cycles fired.
+    pub cycles_run: u64,
+    /// Wall-clock seconds the run loop was live.
+    pub elapsed_secs: f64,
+    /// Final protocol counters.
+    pub stats: sc_core::SecureStats,
+    /// Final transport counters.
+    pub transport: crate::transport::TransportStats,
+}
+
+/// A running SecureCyclon daemon.
+pub struct Daemon {
+    cfg: NodeConfig,
+    node: SecureCyclonNode,
+    transport: TcpTransport,
+    joined: bool,
+    start_cycle: u64,
+    epoch_ms: u64,
+    last_fired: Option<u64>,
+    last_join_attempt: Option<u64>,
+    /// Join requests awaiting the next turn boundary. Granting is
+    /// deferred so `sponsor_join` spends a cycle's fresh-descriptor
+    /// budget *before* that cycle's turn runs — a grant after the turn
+    /// would be a second creation within one period, i.e. the sponsor
+    /// would hand out a provable frequency violation against itself.
+    pending_joins: VecDeque<(ConnId, PublicKey)>,
+    /// Outbound gossip volume under the paper's §VI-A size model
+    /// ([`wire::message_paper_bytes`]) — what the protocol *says* it
+    /// costs, as opposed to the transport's framed TCP byte counters.
+    paper_out: u64,
+    /// Inbound gossip volume under the same model.
+    paper_in: u64,
+    next_req_id: u32,
+    deferred: VecDeque<Inbound>,
+    cycles_run: u64,
+    shutdown: bool,
+}
+
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+impl Daemon {
+    /// Binds the socket and installs the bootstrap state.
+    ///
+    /// Founding members (`sponsor == None`, `index < cluster_size`)
+    /// derive every ring keypair from the cluster seed and keep their
+    /// slice of the §V-A-legal ring bootstrap; sponsored joiners start
+    /// with an empty view and acquire their first descriptor through the
+    /// join handshake once the loop runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn new(cfg: NodeConfig) -> std::io::Result<Daemon> {
+        let node = SecureCyclonNode::new(
+            cfg.keypair(),
+            cfg.addr,
+            cfg.secure,
+            cfg.rng_seed(),
+            cfg.phase(),
+        );
+        let transport = TcpTransport::bind(cfg.addr, cfg.connect_timeout, cfg.max_frame_bytes)?;
+        let start_cycle = cfg.secure.view_len as u64;
+        let epoch_ms = if cfg.epoch_millis == 0 {
+            unix_ms()
+        } else {
+            cfg.epoch_millis
+        };
+        let mut daemon = Daemon {
+            node,
+            transport,
+            joined: false,
+            start_cycle,
+            epoch_ms,
+            last_fired: None,
+            last_join_attempt: None,
+            pending_joins: VecDeque::new(),
+            paper_out: 0,
+            paper_in: 0,
+            next_req_id: 1,
+            deferred: VecDeque::new(),
+            cycles_run: 0,
+            shutdown: false,
+            cfg,
+        };
+        if daemon.cfg.sponsor.is_none() {
+            daemon.install_ring_slice();
+        }
+        Ok(daemon)
+    }
+
+    /// Computes the shared ring bootstrap and keeps this node's slice.
+    fn install_ring_slice(&mut self) {
+        let n = self.cfg.cluster_size;
+        assert!(
+            self.cfg.index < n,
+            "founding member index {} outside cluster of {n}",
+            self.cfg.index
+        );
+        let tpc = self.cfg.secure.ticks_per_cycle;
+        let keypairs: Vec<_> = (0..n).map(|i| self.cfg.keypair_for(i)).collect();
+        let addrs: Vec<Addr> = (0..n).map(|i| self.cfg.base_addr + i as Addr).collect();
+        let phases: Vec<u64> = (0..n).map(|i| sc_core::default_phase(i, tpc)).collect();
+        let plan = ring_bootstrap(&keypairs, &addrs, &phases, self.cfg.secure.view_len, tpc);
+        self.start_cycle = plan.start_cycle;
+        let mine = plan.per_node.into_iter().nth(self.cfg.index).unwrap();
+        for desc in mine {
+            self.node.accept_bootstrap(desc);
+        }
+        self.joined = true;
+    }
+
+    /// The cycle number the shared wall clock currently maps to.
+    fn current_cycle(&self) -> u64 {
+        let elapsed = unix_ms().saturating_sub(self.epoch_ms);
+        self.start_cycle + elapsed / self.cfg.cycle_ms
+    }
+
+    /// The latest cycle whose *turn point* has passed. Turns fire at
+    /// `boundary + phase·cycle_ms/tpc` — the wall-clock image of the
+    /// engine's per-node phase stagger — so initiations spread across the
+    /// cycle instead of colliding at every boundary.
+    fn due_turn_cycle(&self) -> Option<u64> {
+        let elapsed = unix_ms().saturating_sub(self.epoch_ms);
+        let phase_ms = self.cfg.phase() * self.cfg.cycle_ms / self.cfg.secure.ticks_per_cycle;
+        if elapsed < phase_ms {
+            return None;
+        }
+        Some(self.start_cycle + (elapsed - phase_ms) / self.cfg.cycle_ms)
+    }
+
+    /// Engine-convention tick for a cycle (the tick the cycle starts at).
+    fn now_ticks(&self, cycle: u64) -> u64 {
+        cycle * self.cfg.secure.ticks_per_cycle
+    }
+
+    /// Whether the node currently holds a usable view.
+    pub fn joined(&self) -> bool {
+        self.joined
+    }
+
+    /// Read access for tests and the status report.
+    pub fn node(&self) -> &SecureCyclonNode {
+        &self.node
+    }
+
+    /// Runs until `--run-cycles` completes or a shutdown frame arrives.
+    ///
+    /// With `--stop-cycle n`, the daemon stops *firing* turns once the
+    /// shared clock reaches cycle `n` but lingers serving passive RPCs
+    /// and control scrapes (up to `--linger-ms`): every member of a
+    /// cluster stops at the same boundary, so a harness can scrape a
+    /// quiescent network — no descriptor is ever in flight between two
+    /// scrapes — before shutting the processes down.
+    pub fn run(&mut self) -> RunSummary {
+        let started = Instant::now();
+        let mut stopped_at: Option<Instant> = None;
+        while !self.shutdown {
+            if self.cfg.run_cycles > 0 && self.cycles_run >= self.cfg.run_cycles {
+                break;
+            }
+            let stopping = self.cfg.stop_cycle > 0 && self.current_cycle() >= self.cfg.stop_cycle;
+            if stopping {
+                let since = *stopped_at.get_or_insert_with(Instant::now);
+                if since.elapsed() >= Duration::from_millis(self.cfg.linger_ms) {
+                    break;
+                }
+            } else if !self.joined {
+                self.try_join(self.current_cycle());
+            } else if let Some(due) = self.due_turn_cycle() {
+                if self.last_fired.is_none_or(|c| due > c) {
+                    self.grant_pending_join(due);
+                    self.fire_turn(due);
+                    self.last_fired = Some(due);
+                    self.cycles_run += 1;
+                    while let Some(ib) = self.deferred.pop_front() {
+                        self.handle(ib);
+                    }
+                }
+            }
+            if let Some(ib) = self.transport.recv(Duration::from_millis(2)) {
+                self.handle(ib);
+            }
+        }
+        RunSummary {
+            cycles_run: self.cycles_run,
+            elapsed_secs: started.elapsed().as_secs_f64(),
+            stats: self.stats(),
+            transport: self.transport.stats(),
+        }
+    }
+
+    /// One active gossip turn through the engine-targeted protocol code.
+    fn fire_turn(&mut self, cycle: u64) {
+        let mut io = TurnIo {
+            transport: &mut self.transport,
+            deferred: &mut self.deferred,
+            paper_out: &mut self.paper_out,
+            paper_in: &mut self.paper_in,
+            next_req_id: &mut self.next_req_id,
+            self_addr: self.cfg.addr,
+            cycle,
+            now: cycle * self.cfg.secure.ticks_per_cycle,
+            tpc: self.cfg.secure.ticks_per_cycle,
+            rpc_timeout: self.cfg.rpc_timeout,
+            cfg: &self.cfg,
+        };
+        let mut ctx = CycleCtx::<SecureCyclonNode>::driven(self.cfg.addr, &mut io);
+        self.node.on_cycle_any(&mut ctx);
+    }
+
+    /// Sends (at most once per cycle) a join request to the sponsor.
+    fn try_join(&mut self, cycle: u64) {
+        let Some(sponsor) = self.cfg.sponsor else {
+            return;
+        };
+        if self.last_join_attempt == Some(cycle) {
+            return;
+        }
+        self.last_join_attempt = Some(cycle);
+        let payload = self.node.id().as_bytes().to_vec();
+        let frame = Frame::new(FrameKind::JoinRequest, self.cfg.addr, payload);
+        self.transport.send_to(sponsor, &frame);
+    }
+
+    /// Grants at most one queued sponsorship, called right before the
+    /// turn for `cycle` fires: `sponsor_join` marks the cycle's
+    /// fresh-descriptor budget spent, so the turn skips initiating and
+    /// the sponsor stays frequency-legal (one creation per period).
+    fn grant_pending_join(&mut self, cycle: u64) {
+        let Some((conn, joiner)) = self.pending_joins.pop_front() else {
+            return;
+        };
+        let now = self.now_ticks(cycle);
+        let Some(desc) = self.node.sponsor_join(joiner, cycle, now) else {
+            return; // budget already spent; joiner retries
+        };
+        let proofs = self.node.export_proofs();
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&cycle.to_be_bytes());
+        wire::encode_descriptor(&desc, &mut payload);
+        payload.extend_from_slice(&(proofs.len() as u16).to_be_bytes());
+        for p in &proofs {
+            wire::encode_proof(p, &mut payload);
+        }
+        let f = Frame::new(FrameKind::JoinGrant, self.cfg.addr, payload);
+        self.transport.respond(conn, &f);
+    }
+
+    /// Dispatches one inbound frame outside a turn.
+    fn handle(&mut self, ib: Inbound) {
+        let cycle = self.current_cycle();
+        let period = self.cfg.secure.ticks_per_cycle;
+        match ib.frame.kind {
+            FrameKind::Request => {
+                let Ok(msg) =
+                    wire::decode_message_with(&ib.frame.payload, period, &self.cfg.wire_limits)
+                else {
+                    return;
+                };
+                self.paper_in += wire::message_paper_bytes(&msg) as u64;
+                let from = ib.frame.from;
+                let reply = if self.joined {
+                    let (reply, floods) = with_node_ctx(cycle, period, self.cfg.addr, |ctx| {
+                        self.node.on_rpc_any(from, msg, ctx)
+                    });
+                    self.flood(floods);
+                    reply
+                } else {
+                    None
+                };
+                // An explicit empty reply lets the initiator observe
+                // "no answer" without waiting out its RPC timeout.
+                let mut paper = 0u64;
+                let payload = reply.map_or_else(Vec::new, |m| {
+                    paper = wire::message_paper_bytes(&m) as u64;
+                    let mut out = Vec::new();
+                    wire::encode_message(&m, &mut out);
+                    out
+                });
+                self.paper_out += paper;
+                let mut f = Frame::new(FrameKind::Reply, self.cfg.addr, payload);
+                f.req_id = ib.frame.req_id;
+                self.transport.respond(ib.conn, &f);
+            }
+            FrameKind::Oneway => {
+                let Ok(msg) =
+                    wire::decode_message_with(&ib.frame.payload, period, &self.cfg.wire_limits)
+                else {
+                    return;
+                };
+                self.paper_in += wire::message_paper_bytes(&msg) as u64;
+                let ((), floods) = with_node_ctx(cycle, period, self.cfg.addr, |ctx| {
+                    self.node.on_oneway_any(ib.frame.from, msg, ctx)
+                });
+                self.flood(floods);
+            }
+            FrameKind::JoinRequest => {
+                if ib.frame.payload.len() != PUBLIC_KEY_LEN {
+                    return;
+                }
+                let mut key = [0u8; PUBLIC_KEY_LEN];
+                key.copy_from_slice(&ib.frame.payload);
+                let Some(joiner) = PublicKey::from_bytes(key) else {
+                    return;
+                };
+                if !self.joined {
+                    return;
+                }
+                // Queue for the next turn boundary; the joiner retries
+                // each cycle, so drop duplicate keys instead of stacking
+                // grants for one joiner.
+                if !self.pending_joins.iter().any(|(_, k)| *k == joiner) {
+                    self.pending_joins.push_back((ib.conn, joiner));
+                }
+            }
+            FrameKind::JoinGrant => {
+                if self.joined {
+                    return;
+                }
+                if let Ok((desc, proofs)) =
+                    decode_join_grant(&ib.frame.payload, period, &self.cfg.wire_limits)
+                {
+                    if self.node.accept_sponsorship(desc, cycle) {
+                        self.node.import_proofs(proofs, cycle);
+                        self.joined = true;
+                        // Gossip starts next cycle; never replay the one
+                        // the sponsor spent its budget on.
+                        self.last_fired = Some(cycle);
+                    }
+                }
+            }
+            FrameKind::CtrlStatus => {
+                let report = self.status_report(cycle);
+                let f = Frame::new(FrameKind::CtrlStatusReply, self.cfg.addr, report.encode());
+                self.transport.respond(ib.conn, &f);
+            }
+            FrameKind::CtrlShutdown => {
+                self.shutdown = true;
+            }
+            FrameKind::Reply | FrameKind::CtrlStatusReply => {
+                // Stale RPC replies (their turn already timed out) and
+                // misdirected control traffic are dropped.
+            }
+        }
+    }
+
+    /// Sends queued proof floods as one-way frames.
+    fn flood(&mut self, msgs: Vec<(Addr, SecureMsg)>) {
+        for (to, msg) in msgs {
+            self.paper_out += wire::message_paper_bytes(&msg) as u64;
+            let mut payload = Vec::new();
+            wire::encode_message(&msg, &mut payload);
+            let f = Frame::new(FrameKind::Oneway, self.cfg.addr, payload);
+            self.transport.send_to(to, &f);
+        }
+    }
+
+    /// Snapshot of the node's oracle-relevant state.
+    fn status_report(&self, cycle: u64) -> StatusReport {
+        StatusReport {
+            addr: self.cfg.addr,
+            id: self.node.id(),
+            cycle,
+            joined: self.joined,
+            cycles_run: self.cycles_run,
+            view: self
+                .node
+                .view()
+                .iter()
+                .map(|e| (e.desc.clone(), e.non_swappable))
+                .collect(),
+            reserve: self.node.reserve().cloned().collect(),
+            blacklist: self.node.blacklist().culprits().copied().collect(),
+            stats: self.stats(),
+            transport: self.transport.stats(),
+        }
+    }
+
+    /// Protocol counters with the daemon-tracked paper-model byte
+    /// accounting folded in (the core fields exist for exactly this).
+    fn stats(&self) -> sc_core::SecureStats {
+        let mut stats = self.node.stats();
+        stats.bytes_sent = self.paper_out;
+        stats.bytes_received = self.paper_in;
+        stats
+    }
+}
+
+/// Parses a join grant: `cycle (8) | descriptor | n (2) | proofs`.
+fn decode_join_grant(
+    buf: &[u8],
+    period: u64,
+    limits: &wire::WireLimits,
+) -> Result<(sc_core::SecureDescriptor, Vec<sc_core::ViolationProof>), WireError> {
+    if buf.len() < 8 {
+        return Err(WireError::UnexpectedEnd);
+    }
+    let mut pos = 8; // sponsor cycle: informational; the clock is shared
+    let (desc, used) = wire::decode_descriptor_with(&buf[pos..], limits)?;
+    pos += used;
+    if buf.len() < pos + 2 {
+        return Err(WireError::UnexpectedEnd);
+    }
+    let n = u16::from_be_bytes([buf[pos], buf[pos + 1]]) as usize;
+    pos += 2;
+    if n > limits.max_proofs {
+        return Err(WireError::TooManyProofs(n as u16));
+    }
+    let mut proofs = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let (p, used) = wire::decode_proof_with(&buf[pos..], period, limits)?;
+        pos += used;
+        proofs.push(p);
+    }
+    Ok((desc, proofs))
+}
+
+/// Carries one turn's RPCs and sends over the transport; frames that are
+/// not the awaited reply are deferred to after the turn.
+struct TurnIo<'a> {
+    transport: &'a mut TcpTransport,
+    deferred: &'a mut VecDeque<Inbound>,
+    paper_out: &'a mut u64,
+    paper_in: &'a mut u64,
+    next_req_id: &'a mut u32,
+    self_addr: Addr,
+    cycle: u64,
+    now: u64,
+    tpc: u64,
+    rpc_timeout: Duration,
+    cfg: &'a NodeConfig,
+}
+
+impl TurnDriver<SecureMsg> for TurnIo<'_> {
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn ticks_per_cycle(&self) -> u64 {
+        self.tpc
+    }
+
+    fn rpc(&mut self, to: Addr, msg: SecureMsg) -> RpcOutcome<SecureMsg> {
+        let req_id = *self.next_req_id;
+        *self.next_req_id = self.next_req_id.wrapping_add(1).max(1);
+        *self.paper_out += wire::message_paper_bytes(&msg) as u64;
+        let mut payload = Vec::new();
+        wire::encode_message(&msg, &mut payload);
+        let mut f = Frame::new(FrameKind::Request, self.self_addr, payload);
+        f.req_id = req_id;
+        if !self.transport.send_to(to, &f) {
+            return RpcOutcome::Timeout;
+        }
+        let deadline = Instant::now() + self.rpc_timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return RpcOutcome::Timeout;
+            }
+            let Some(ib) = self.transport.recv(left.min(Duration::from_millis(2))) else {
+                continue;
+            };
+            if ib.frame.kind == FrameKind::Reply {
+                if ib.frame.req_id != req_id {
+                    continue; // stale reply from a timed-out earlier RPC
+                }
+                if ib.frame.payload.is_empty() {
+                    return RpcOutcome::Timeout; // explicit no-answer
+                }
+                return match wire::decode_message_with(
+                    &ib.frame.payload,
+                    self.tpc,
+                    &self.cfg.wire_limits,
+                ) {
+                    Ok(m) => {
+                        *self.paper_in += wire::message_paper_bytes(&m) as u64;
+                        RpcOutcome::Reply(m)
+                    }
+                    Err(_) => RpcOutcome::Timeout,
+                };
+            }
+            self.deferred.push_back(ib);
+        }
+    }
+
+    fn send(&mut self, to: Addr, msg: SecureMsg) {
+        *self.paper_out += wire::message_paper_bytes(&msg) as u64;
+        let mut payload = Vec::new();
+        wire::encode_message(&msg, &mut payload);
+        let f = Frame::new(FrameKind::Oneway, self.self_addr, payload);
+        self.transport.send_to(to, &f);
+    }
+}

@@ -637,6 +637,24 @@ impl<N: SimNode> RpcPath<'_, N> {
     }
 }
 
+/// Supplies a node's turn with a clock and message paths from outside the
+/// engine — the hook a real transport (e.g. a socket daemon) implements to
+/// reuse engine-targeted protocol code unchanged. See
+/// [`CycleCtx::driven`].
+pub trait TurnDriver<M> {
+    /// The current cycle number.
+    fn cycle(&self) -> u64;
+    /// The tick at which the current cycle starts.
+    fn now(&self) -> u64;
+    /// Tick resolution of one cycle.
+    fn ticks_per_cycle(&self) -> u64;
+    /// Performs a synchronous RPC; all failure modes collapse into
+    /// [`RpcOutcome::Timeout`], exactly as in the engine.
+    fn rpc(&mut self, to: Addr, msg: M) -> RpcOutcome<M>;
+    /// Queues a one-way message for asynchronous delivery.
+    fn send(&mut self, to: Addr, msg: M);
+}
+
 /// Context handed to a node during its cycle turn. Supports synchronous
 /// RPCs and one-way sends.
 pub struct CycleCtx<'e, N: SimNode> {
@@ -649,6 +667,8 @@ enum CtxInner<'e, N: SimNode> {
     Seq(&'e mut Engine<N>),
     /// Striped mode: gated access to the shared stripe state.
     Striped(StripedCtx<'e, N>),
+    /// Driven mode: clock and transport supplied by an external driver.
+    Driven(&'e mut dyn TurnDriver<N::Msg>),
 }
 
 struct StripedCtx<'e, N: SimNode> {
@@ -661,6 +681,18 @@ struct StripedCtx<'e, N: SimNode> {
     buf: &'e mut Vec<Envelope<N::Msg>>,
 }
 
+impl<'e, N: SimNode> CycleCtx<'e, N> {
+    /// Builds a context backed by an external [`TurnDriver`] instead of an
+    /// engine, so daemon code can run `SimNode`-targeted protocol logic
+    /// over a real transport.
+    pub fn driven(self_addr: Addr, driver: &'e mut dyn TurnDriver<N::Msg>) -> Self {
+        CycleCtx {
+            self_addr,
+            inner: CtxInner::Driven(driver),
+        }
+    }
+}
+
 impl<N: SimNode> CycleCtx<'_, N> {
     /// The address of the node taking its turn.
     pub fn self_addr(&self) -> Addr {
@@ -669,23 +701,33 @@ impl<N: SimNode> CycleCtx<'_, N> {
 
     /// The current cycle number.
     pub fn cycle(&self) -> u64 {
-        self.clock_ref().cycle()
+        match &self.inner {
+            CtxInner::Driven(d) => d.cycle(),
+            _ => self.clock_ref().cycle(),
+        }
     }
 
     /// The tick at which the current cycle starts.
     pub fn now(&self) -> u64 {
-        self.clock_ref().now()
+        match &self.inner {
+            CtxInner::Driven(d) => d.now(),
+            _ => self.clock_ref().now(),
+        }
     }
 
     /// Tick resolution of one cycle (the gossip period, in ticks).
     pub fn ticks_per_cycle(&self) -> u64 {
-        self.clock_ref().ticks_per_cycle()
+        match &self.inner {
+            CtxInner::Driven(d) => d.ticks_per_cycle(),
+            _ => self.clock_ref().ticks_per_cycle(),
+        }
     }
 
     fn clock_ref(&self) -> &Clock {
         match &self.inner {
             CtxInner::Seq(engine) => &engine.clock,
             CtxInner::Striped(sc) => &sc.clock,
+            CtxInner::Driven(_) => unreachable!("driven contexts bypass the engine clock"),
         }
     }
 
@@ -729,19 +771,26 @@ impl<N: SimNode> CycleCtx<'_, N> {
                 }
                 .execute(from, to, msg)
             }
+            CtxInner::Driven(d) => d.rpc(to, msg),
         }
     }
 
     /// Queues a one-way message for delivery at the start of the next cycle.
     pub fn send(&mut self, to: Addr, msg: N::Msg) {
-        let env = Envelope {
-            from: self.self_addr,
-            to,
-            msg,
-        };
         match &mut self.inner {
-            CtxInner::Seq(engine) => engine.pending.push(env),
-            CtxInner::Striped(sc) => sc.buf.push(env),
+            CtxInner::Driven(d) => d.send(to, msg),
+            inner => {
+                let env = Envelope {
+                    from: self.self_addr,
+                    to,
+                    msg,
+                };
+                match inner {
+                    CtxInner::Seq(engine) => engine.pending.push(env),
+                    CtxInner::Striped(sc) => sc.buf.push(env),
+                    CtxInner::Driven(_) => unreachable!(),
+                }
+            }
         }
     }
 }

@@ -18,6 +18,11 @@
 //!   convergence, eventual adversary detection). The first violation
 //!   reports scenario, seed, and cycle, and prints the one-command
 //!   replay.
+//! * [`snapshot`] — the uniform state shape the oracles check, producible
+//!   from a simulated engine *or* from live `sc-node` control-socket
+//!   scrapes, so real processes are held to the same invariants.
+//! * [`harness`] — spawns, scrapes, churns, and stops fleets of real
+//!   `sc-node` processes on 127.0.0.1 for the loopback test tier.
 //! * [`runner`] — deterministic execution of a `(Scenario, seed)` pair.
 //! * [`catalog`] — the standard ~36-combination scenario matrix swept by
 //!   `tests/scenario_matrix.rs`, with a `quick` sizing for CI.
@@ -43,19 +48,23 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod harness;
 pub mod net;
 pub mod oracles;
 pub mod runner;
 pub mod scenario;
+pub mod snapshot;
 
 pub use catalog::{standard_matrix, MatrixSize, MATRIX_SEEDS};
+pub use harness::{ClusterConfig, ProcessCluster};
 pub use net::{
     blacklist_coverage, build_secure_network, eclipsed_fraction, malicious_link_fraction,
     ns_link_fraction, proofs_generated, SecureNet, SecureNetParams, SecureNetwork,
 };
-pub use oracles::{largest_honest_component, OracleSuite, Violation};
+pub use oracles::{largest_component, largest_honest_component, OracleSuite, Violation};
 pub use runner::{
     check_batched_intake_equivalence, run_scenario, run_scenario_with_net, state_fingerprint,
     RunSummary,
 };
 pub use scenario::{AdversaryKind, ChurnWindow, Event, OracleConfig, Scenario};
+pub use snapshot::{NetSnapshot, NodeSnapshot};

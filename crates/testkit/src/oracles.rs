@@ -7,9 +7,14 @@
 //! reproduces the failure bit-for-bit. This is the Honeybee/FoundationDB
 //! posture: verifiability as an invariant checked continuously, not a
 //! property asserted once at the end.
+//!
+//! Every check runs over a [`NetSnapshot`], so the same oracle code
+//! audits a simulated [`SecureNetwork`] and a cluster of live `sc-node`
+//! processes scraped over their control sockets.
 
-use crate::net::{blacklist_coverage, proofs_generated, SecureNetwork};
+use crate::net::SecureNetwork;
 use crate::scenario::{OracleConfig, Scenario};
+use crate::snapshot::NetSnapshot;
 use sc_core::DescriptorId;
 use sc_crypto::NodeId;
 use sc_sim::Addr;
@@ -29,26 +34,29 @@ pub struct Violation {
     pub oracle: &'static str,
     /// Human-readable specifics.
     pub detail: String,
+    /// The one-command reproduction for this run.
+    pub replay: String,
 }
 
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "oracle '{}' violated in scenario '{}' (seed {}, cycle {}): {}\n  replay: \
-             SC_SCENARIO='{}' SC_SEED={} cargo test --test scenario_matrix -- --nocapture",
-            self.oracle,
-            self.scenario,
-            self.seed,
-            self.cycle,
-            self.detail,
-            self.scenario,
-            self.seed
+            "oracle '{}' violated in scenario '{}' (seed {}, cycle {}): {}\n  replay: {}",
+            self.oracle, self.scenario, self.seed, self.cycle, self.detail, self.replay,
         )
     }
 }
 
 impl std::error::Error for Violation {}
+
+/// The replay command for a `(scenario, seed)` pair of the simulated
+/// scenario matrix.
+pub fn matrix_replay(scenario: &str, seed: u64) -> String {
+    format!(
+        "SC_SCENARIO='{scenario}' SC_SEED={seed} cargo test --test scenario_matrix -- --nocapture"
+    )
+}
 
 /// Stateful oracle suite for one run.
 ///
@@ -59,6 +67,7 @@ pub struct OracleSuite {
     seed: u64,
     cfg: OracleConfig,
     view_len: usize,
+    replay: String,
     /// Previous cycle's blacklist per address (addresses are never
     /// reused, so churn cannot alias entries).
     prev_blacklists: HashMap<Addr, HashSet<NodeId>>,
@@ -68,13 +77,34 @@ pub struct OracleSuite {
 }
 
 impl OracleSuite {
-    /// Creates the suite for one `(scenario, seed)` run.
+    /// Creates the suite for one `(scenario, seed)` run of the simulated
+    /// matrix.
     pub fn new(scenario: &Scenario, seed: u64) -> Self {
-        OracleSuite {
-            scenario: scenario.name.clone(),
+        let replay = matrix_replay(&scenario.name, seed);
+        OracleSuite::with_replay(
+            &scenario.name,
             seed,
-            cfg: scenario.oracles,
-            view_len: scenario.cfg.view_len,
+            scenario.oracles,
+            scenario.cfg.view_len,
+            replay,
+        )
+    }
+
+    /// Creates a suite for any run — a live loopback cluster, say — with
+    /// a caller-supplied one-command replay line.
+    pub fn with_replay(
+        name: &str,
+        seed: u64,
+        cfg: OracleConfig,
+        view_len: usize,
+        replay: String,
+    ) -> Self {
+        OracleSuite {
+            scenario: name.to_string(),
+            seed,
+            cfg,
+            view_len,
+            replay,
             prev_blacklists: HashMap::new(),
             honest_ever: HashSet::new(),
         }
@@ -87,28 +117,39 @@ impl OracleSuite {
             cycle,
             oracle,
             detail,
+            replay: self.replay.clone(),
         }
     }
 
-    /// Runs every enabled per-cycle oracle. `step` is the 0-based run
-    /// step; the reported cycle is the absolute engine cycle.
+    /// Runs every enabled per-cycle oracle against a simulated network.
+    /// `step` is the 0-based run step; the reported cycle is the absolute
+    /// engine cycle.
     pub fn check_cycle(&mut self, net: &SecureNetwork, step: u64) -> Result<(), Violation> {
         if !step.is_multiple_of(self.cfg.stride.max(1)) {
             return Ok(());
         }
-        let cycle = net.engine.cycle();
+        self.check_snapshot(&NetSnapshot::from_network(net), step)
+    }
+
+    /// Runs every enabled per-cycle oracle against a snapshot (simulated
+    /// or scraped from live daemons).
+    pub fn check_snapshot(&mut self, snap: &NetSnapshot, step: u64) -> Result<(), Violation> {
+        if !step.is_multiple_of(self.cfg.stride.max(1)) {
+            return Ok(());
+        }
+        let cycle = snap.cycle;
         if self.cfg.view_invariants {
-            self.check_view_invariants(net, cycle)?;
+            self.check_view_invariants(snap, cycle)?;
         }
         if self.cfg.unique_ownership {
-            self.check_unique_ownership(net, cycle)?;
+            self.check_unique_ownership(snap, cycle)?;
         }
         if self.cfg.blacklist_monotone {
-            self.check_blacklists(net, cycle)?;
+            self.check_blacklists(snap, cycle)?;
         }
         if let Some(bound) = self.cfg.max_indegree {
             if step >= self.cfg.warmup {
-                self.check_indegree(net, cycle, bound)?;
+                self.check_indegree(snap, cycle, bound)?;
             }
         }
         Ok(())
@@ -116,41 +157,44 @@ impl OracleSuite {
 
     /// Per-view structural invariants: capacity, ownership, no duplicate
     /// identities, non-swappable accounting.
-    fn check_view_invariants(&self, net: &SecureNetwork, cycle: u64) -> Result<(), Violation> {
-        for (addr, node) in net.engine.nodes() {
-            let Some(h) = node.honest() else { continue };
-            let v = h.view();
-            if v.len() > self.view_len {
+    fn check_view_invariants(&self, snap: &NetSnapshot, cycle: u64) -> Result<(), Violation> {
+        for node in &snap.nodes {
+            let addr = node.addr;
+            if node.view.len() > self.view_len {
                 return Err(self.violation(
                     cycle,
                     "view-conservation",
-                    format!("node {addr}: view holds {} > ℓ={}", v.len(), self.view_len),
+                    format!(
+                        "node {addr}: view holds {} > ℓ={}",
+                        node.view.len(),
+                        self.view_len
+                    ),
                 ));
             }
             let mut ids = HashSet::new();
-            for e in v.iter() {
-                if e.desc.creator() == h.id() {
+            for (desc, _) in &node.view {
+                if desc.creator() == node.id {
                     return Err(self.violation(
                         cycle,
                         "view-conservation",
                         format!("node {addr}: self-link in view"),
                     ));
                 }
-                if e.desc.owner() != h.id() {
+                if desc.owner() != node.id {
                     return Err(self.violation(
                         cycle,
                         "view-conservation",
                         format!("node {addr}: view entry not owned by the node"),
                     ));
                 }
-                if e.desc.is_redeemed() {
+                if desc.is_redeemed() {
                     return Err(self.violation(
                         cycle,
                         "view-conservation",
                         format!("node {addr}: redeemed descriptor in view"),
                     ));
                 }
-                if !ids.insert(e.desc.id()) {
+                if !ids.insert(desc.id()) {
                     return Err(self.violation(
                         cycle,
                         "view-conservation",
@@ -166,23 +210,19 @@ impl OracleSuite {
     /// "Live-owned" counts swappable view entries and reserve entries;
     /// non-swappable entries are §V-A retained copies and legitimately
     /// coexist with the real owner's copy.
-    fn check_unique_ownership(&self, net: &SecureNetwork, cycle: u64) -> Result<(), Violation> {
+    fn check_unique_ownership(&self, snap: &NetSnapshot, cycle: u64) -> Result<(), Violation> {
         let mut owners: HashMap<DescriptorId, Addr> = HashMap::new();
-        for (addr, node) in net.engine.nodes() {
-            let Some(h) = node.honest() else { continue };
-            let swappable = h
-                .view()
-                .iter()
-                .filter(|e| !e.non_swappable)
-                .map(|e| &e.desc);
-            for d in swappable.chain(h.reserve()) {
-                if let Some(prev) = owners.insert(d.id(), addr) {
+        for node in &snap.nodes {
+            let swappable = node.view.iter().filter(|(_, ns)| !ns).map(|(desc, _)| desc);
+            for d in swappable.chain(node.reserve.iter()) {
+                if let Some(prev) = owners.insert(d.id(), node.addr) {
                     return Err(self.violation(
                         cycle,
                         "unique-ownership",
                         format!(
-                            "descriptor {:?} live-owned by nodes {prev} and {addr}",
-                            d.id()
+                            "descriptor {:?} live-owned by nodes {prev} and {}",
+                            d.id(),
+                            node.addr
                         ),
                     ));
                 }
@@ -194,17 +234,13 @@ impl OracleSuite {
     /// Honest blacklists only grow, and never contain honest identities
     /// (no false accusations — message loss and partitions are not
     /// violations, §V-A).
-    fn check_blacklists(&mut self, net: &SecureNetwork, cycle: u64) -> Result<(), Violation> {
-        self.honest_ever.extend(
-            net.engine
-                .nodes()
-                .filter_map(|(_, n)| n.honest().map(|h| h.id())),
-        );
-        for (addr, node) in net.engine.nodes() {
-            let Some(h) = node.honest() else { continue };
-            let current: HashSet<NodeId> = h.blacklist().culprits().copied().collect();
+    fn check_blacklists(&mut self, snap: &NetSnapshot, cycle: u64) -> Result<(), Violation> {
+        self.honest_ever.extend(snap.nodes.iter().map(|n| n.id));
+        for node in &snap.nodes {
+            let addr = node.addr;
+            let current: HashSet<NodeId> = node.blacklist.iter().copied().collect();
             for id in &current {
-                if self.honest_ever.contains(id) && !net.malicious_ids.contains(id) {
+                if self.honest_ever.contains(id) && !snap.malicious_ids.contains(id) {
                     return Err(self.violation(
                         cycle,
                         "blacklist-monotone",
@@ -235,16 +271,15 @@ impl OracleSuite {
     /// can be over-represented).
     fn check_indegree(
         &self,
-        net: &SecureNetwork,
+        snap: &NetSnapshot,
         cycle: u64,
         bound: usize,
     ) -> Result<(), Violation> {
         let mut indegree: HashMap<NodeId, usize> = HashMap::new();
-        for (_, node) in net.engine.nodes() {
-            let Some(h) = node.honest() else { continue };
-            for e in h.view().iter() {
-                let creator = e.desc.creator();
-                if !net.malicious_ids.contains(&creator) {
+        for node in &snap.nodes {
+            for (desc, _) in &node.view {
+                let creator = desc.creator();
+                if !snap.malicious_ids.contains(&creator) {
                     *indegree.entry(creator).or_default() += 1;
                 }
             }
@@ -261,11 +296,18 @@ impl OracleSuite {
         Ok(())
     }
 
-    /// Runs the end-of-run oracles.
+    /// Runs the end-of-run oracles against a simulated network.
     pub fn check_final(&self, net: &SecureNetwork) -> Result<(), Violation> {
-        let cycle = net.engine.cycle();
+        self.check_snapshot_final(&NetSnapshot::from_network(net))
+    }
+
+    /// Runs the end-of-run oracles against a snapshot. Live clusters
+    /// should scrape it quiescent (`--stop-cycle` linger), since
+    /// connectivity and ownership are cross-node properties.
+    pub fn check_snapshot_final(&self, snap: &NetSnapshot) -> Result<(), Violation> {
+        let cycle = snap.cycle;
         if let Some(floor) = self.cfg.final_connectivity {
-            let (component, honest_alive) = largest_honest_component(net);
+            let (component, honest_alive) = largest_component(snap);
             if (component as f64) < floor * honest_alive as f64 {
                 return Err(self.violation(
                     cycle,
@@ -278,11 +320,10 @@ impl OracleSuite {
             }
         }
         if let Some(floor) = self.cfg.final_min_fill {
-            let (len_sum, honest) = net
-                .engine
-                .nodes()
-                .filter_map(|(_, n)| n.honest())
-                .fold((0usize, 0usize), |(l, c), h| (l + h.view().len(), c + 1));
+            let (len_sum, honest) = snap
+                .nodes
+                .iter()
+                .fold((0usize, 0usize), |(l, c), n| (l + n.view.len(), c + 1));
             let avg = if honest == 0 {
                 0.0
             } else {
@@ -300,7 +341,7 @@ impl OracleSuite {
             }
         }
         if let Some(coverage_floor) = self.cfg.expect_detection {
-            let (cloning, frequency) = proofs_generated(&net.engine);
+            let (cloning, frequency) = snap.proofs_generated();
             if cloning + frequency == 0 {
                 return Err(self.violation(
                     cycle,
@@ -308,7 +349,7 @@ impl OracleSuite {
                     "adversary active but no violation was ever proven".to_string(),
                 ));
             }
-            let coverage = blacklist_coverage(&net.engine, &net.malicious_ids);
+            let coverage = snap.blacklist_coverage();
             if coverage < coverage_floor {
                 return Err(self.violation(
                     cycle,
@@ -322,24 +363,21 @@ impl OracleSuite {
 }
 
 /// `(largest weakly-connected component, alive honest count)` over the
-/// honest overlay: edges follow view entries between alive honest nodes
-/// in either direction.
+/// honest overlay of a simulated network.
 pub fn largest_honest_component(net: &SecureNetwork) -> (usize, usize) {
-    let honest: Vec<Addr> = net
-        .engine
-        .nodes()
-        .filter(|(_, n)| !n.is_malicious())
-        .map(|(a, _)| a)
-        .collect();
-    let honest_set: HashSet<Addr> = honest.iter().copied().collect();
+    largest_component(&NetSnapshot::from_network(net))
+}
+
+/// `(largest weakly-connected component, honest count)` over a snapshot:
+/// edges follow view entries between honest nodes in either direction.
+pub fn largest_component(snap: &NetSnapshot) -> (usize, usize) {
+    let honest_set: HashSet<Addr> = snap.nodes.iter().map(|n| n.addr).collect();
     // Undirected adjacency over honest view links.
     let mut adj: HashMap<Addr, Vec<Addr>> = HashMap::new();
-    for &a in &honest {
-        let Some(h) = net.engine.node(a).and_then(|n| n.honest()) else {
-            continue;
-        };
-        for e in h.view().iter() {
-            let b = e.desc.addr();
+    for node in &snap.nodes {
+        let a = node.addr;
+        for (desc, _) in &node.view {
+            let b = desc.addr();
             if b != a && honest_set.contains(&b) {
                 adj.entry(a).or_default().push(b);
                 adj.entry(b).or_default().push(a);
@@ -348,12 +386,12 @@ pub fn largest_honest_component(net: &SecureNetwork) -> (usize, usize) {
     }
     let mut seen: HashSet<Addr> = HashSet::new();
     let mut best = 0;
-    for &start in &honest {
-        if !seen.insert(start) {
+    for node in &snap.nodes {
+        if !seen.insert(node.addr) {
             continue;
         }
         let mut size = 0;
-        let mut queue = VecDeque::from([start]);
+        let mut queue = VecDeque::from([node.addr]);
         while let Some(a) = queue.pop_front() {
             size += 1;
             for &b in adj.get(&a).into_iter().flatten() {
@@ -364,12 +402,14 @@ pub fn largest_honest_component(net: &SecureNetwork) -> (usize, usize) {
         }
         best = best.max(size);
     }
-    (best, honest.len())
+    (best, snap.nodes.len())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::net::{build_secure_network, SecureNetParams};
+    use sc_attacks::SecureAttack;
 
     #[test]
     fn violation_display_carries_replay_command() {
@@ -379,11 +419,60 @@ mod tests {
             cycle: 37,
             oracle: "convergence",
             detail: "fragmented".into(),
+            replay: matrix_replay("honest-partition-heal", 42),
         };
         let msg = v.to_string();
         assert!(msg.contains("SC_SCENARIO='honest-partition-heal'"));
         assert!(msg.contains("SC_SEED=42"));
         assert!(msg.contains("cycle 37"));
         assert!(msg.contains("scenario_matrix"));
+    }
+
+    fn small_params(n: usize) -> SecureNetParams {
+        let mut p = SecureNetParams::new(n, 0, SecureAttack::None);
+        p.cfg = p.cfg.with_view_len(6).with_swap_len(3);
+        p
+    }
+
+    #[test]
+    fn snapshot_checks_match_network_checks() {
+        let mut net = build_secure_network(small_params(16));
+        for _ in 0..6 {
+            net.engine.run_cycle();
+        }
+        let cfg = OracleConfig {
+            unique_ownership: true,
+            max_indegree: Some(64),
+            warmup: 0,
+            final_connectivity: Some(1.0),
+            final_min_fill: Some(0.5),
+            ..OracleConfig::default()
+        };
+        let mk = || OracleSuite::with_replay("snap-eq", 1, cfg, 8, "replay-me".into());
+        // Same state, two entry points: both must pass identically.
+        let snap = NetSnapshot::from_network(&net);
+        mk().check_cycle(&net, 0).unwrap();
+        mk().check_snapshot(&snap, 0).unwrap();
+        mk().check_final(&net).unwrap();
+        mk().check_snapshot_final(&snap).unwrap();
+        assert_eq!(largest_honest_component(&net), largest_component(&snap));
+    }
+
+    #[test]
+    fn torn_live_snapshot_trips_unique_ownership() {
+        let net = build_secure_network(small_params(10));
+        let mut snap = NetSnapshot::from_network(&net);
+        // Forge a torn read: one node's owned view entry also shows up in
+        // another node's reserve — impossible in a quiescent cluster.
+        let (dup, _) = snap.nodes[0].view[0].clone();
+        snap.nodes[1].reserve.push(dup);
+        let cfg = OracleConfig {
+            unique_ownership: true,
+            ..OracleConfig::default()
+        };
+        let mut suite = OracleSuite::with_replay("torn", 9, cfg, 8, "cmd".into());
+        let v = suite.check_snapshot(&snap, 0).unwrap_err();
+        assert_eq!(v.oracle, "unique-ownership");
+        assert!(v.to_string().contains("cmd"));
     }
 }

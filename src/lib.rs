@@ -16,7 +16,9 @@
 //! * [`core`] — the SecureCyclon protocol itself.
 //! * [`attacks`] — the paper's adversary suite.
 //! * [`testkit`] — mixed-network builder, adversarial scenario harness,
-//!   and protocol invariant oracles.
+//!   protocol invariant oracles, and the real-process loopback harness.
+//! * [`node`] — the runnable `sc-node` daemon: the protocol on real
+//!   TCP sockets, with framing, bootstrap, and a control channel.
 //! * [`metrics`] — histograms, time series, and figure emission.
 //!
 //! # Quickstart
@@ -43,5 +45,6 @@ pub use sc_core as core;
 pub use sc_crypto as crypto;
 pub use sc_cyclon as cyclon;
 pub use sc_metrics as metrics;
+pub use sc_node as node;
 pub use sc_sim as sim;
 pub use sc_testkit as testkit;

@@ -57,3 +57,9 @@ fn hub_attack_demo_runs() {
 fn large_scale_runs() {
     run_example("large_scale");
 }
+
+#[test]
+#[ignore = "spawns a nested cargo build; run via CI or with -- --ignored"]
+fn loopback_cluster_runs() {
+    run_example("loopback_cluster");
+}
