@@ -149,6 +149,13 @@ impl SampleCache {
         self.by_id.get(id).map(|c| &c.desc)
     }
 
+    /// Iterates over the cached descriptors. Used by the §V-A rejoin
+    /// trigger: a starved node mines its sample cache for the creator
+    /// addresses it most recently heard from.
+    pub fn descriptors(&self) -> impl Iterator<Item = &SecureDescriptor> {
+        self.by_id.values().map(|c| &c.desc)
+    }
+
     /// Runs both §IV-B checks on `desc` and caches it if it passes.
     ///
     /// Signature verification is lazy (see module docs): it runs only

@@ -11,6 +11,12 @@ pub struct SecureConfig {
     pub ticks_per_cycle: u64,
     /// Redemption-cache retention r, in cycles (§V-C). 0 disables.
     pub redemption_cache_cycles: u64,
+    /// Hard cap on redemption-cache entries, independent of age. Under
+    /// heavy churn a single retention window can accumulate arbitrarily
+    /// many redeemed descriptors; the cap evicts the oldest first so the
+    /// cache degrades to the paper's steady-state behaviour instead of
+    /// growing without bound. 0 disables the cap.
+    pub redemption_cache_max_entries: usize,
     /// Sample-cache retention, in cycles (§IV-B "cache all descriptors
     /// seen", bounded in practice by descriptor lifetime ≈ ℓ).
     pub sample_retention_cycles: u64,
@@ -57,6 +63,7 @@ impl Default for SecureConfig {
             swap_len: 3,
             ticks_per_cycle: 1000,
             redemption_cache_cycles: 5,
+            redemption_cache_max_entries: 64,
             sample_retention_cycles: 60,
             tit_for_tat: true,
             eviction_enabled: true,
@@ -103,6 +110,12 @@ impl SecureConfig {
     /// Builder-style override of the redemption-cache retention.
     pub fn with_redemption_cache(mut self, cycles: u64) -> Self {
         self.redemption_cache_cycles = cycles;
+        self
+    }
+
+    /// Builder-style override of the redemption-cache entry cap.
+    pub fn with_redemption_cache_cap(mut self, max_entries: usize) -> Self {
+        self.redemption_cache_max_entries = max_entries;
         self
     }
 

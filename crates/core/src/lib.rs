@@ -26,6 +26,7 @@
 //! * [`node`] — the full protocol node with tit-for-tat exchanges (§V-B)
 //! * [`bootstrap`] — violation-free initial overlays
 //! * [`wire`] — wire encoding and the §VI-A message-size model
+//! * [`storage`] — durable state backends and crash-restart recovery
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@ pub mod msg;
 pub mod node;
 pub mod proof;
 pub mod redemption;
+pub mod storage;
 pub mod time;
 pub mod view;
 pub mod wire;
@@ -71,9 +73,12 @@ pub use descriptor::{
     ChainLink, DescriptorError, DescriptorId, Genesis, LinkKind, SecureDescriptor,
 };
 pub use memo::VerifyMemo;
-pub use msg::{AcceptBody, RequestBody, RoundBody, RoundReplyBody, SecureMsg};
+pub use msg::{
+    AcceptBody, JoinGrantBody, JoinPingBody, RequestBody, RoundBody, RoundReplyBody, SecureMsg,
+};
 pub use node::{ProofRecord, SecureCyclonNode, SecureStats};
 pub use proof::{ProofError, ProofKind, ViolationProof};
 pub use redemption::RedemptionCache;
+pub use storage::{FileBackend, MemoryBackend, PersistentState, StateBackend};
 pub use time::Timestamp;
 pub use view::{SecureView, ViewEntry};

@@ -18,9 +18,18 @@
 //!
 //! Violation proofs travel both as one-way floods ([`SecureMsg::Proof`])
 //! and piggybacked on `Request`/`Accept`.
+//!
+//! A *starved* node — its view, reserve, and back-fill pools all empty,
+//! e.g. after a partition outlasted its descriptors — re-enters the
+//! overlay with the §V-A bootstrap applied in-protocol: it sends
+//! [`SecureMsg::JoinPing`] one-ways to recently sampled addresses, and a
+//! willing receiver answers with [`SecureMsg::JoinGrant`] carrying a
+//! sponsored descriptor (spending that cycle's fresh-descriptor budget,
+//! so the frequency rule is never violated).
 
 use crate::descriptor::SecureDescriptor;
 use crate::proof::ViolationProof;
+use sc_crypto::NodeId;
 
 /// Body of a gossip request (round 0).
 #[derive(Clone, Debug)]
@@ -68,6 +77,25 @@ pub struct RoundReplyBody {
     pub transfer: Option<SecureDescriptor>,
 }
 
+/// A starved node's plea for re-sponsorship (§V-A applied to rejoin).
+#[derive(Clone, Debug)]
+pub struct JoinPingBody {
+    /// The starved node's identity — the key a sponsorship descriptor
+    /// must be transferred to.
+    pub joiner: NodeId,
+}
+
+/// A sponsor's answer to a [`JoinPingBody`].
+#[derive(Clone, Debug)]
+pub struct JoinGrantBody {
+    /// A fresh descriptor created by the sponsor, ownership already
+    /// transferred to the joiner (the §V-A bootstrap lifeline).
+    pub descriptor: SecureDescriptor,
+    /// Recently learned violation proofs, so the rejoiner catches up on
+    /// blacklist state it missed while isolated (§IV-C).
+    pub proofs: Vec<ViolationProof>,
+}
+
 /// All SecureCyclon messages.
 #[derive(Clone, Debug)]
 pub enum SecureMsg {
@@ -81,6 +109,10 @@ pub enum SecureMsg {
     RoundReply(Box<RoundReplyBody>),
     /// Flooded violation proof (one-way, §IV-C).
     Proof(Box<ViolationProof>),
+    /// Starved-node re-sponsorship plea (one-way, §V-A rejoin).
+    JoinPing(Box<JoinPingBody>),
+    /// Sponsorship grant answering a ping (one-way, §V-A rejoin).
+    JoinGrant(Box<JoinGrantBody>),
 }
 
 #[cfg(test)]

@@ -23,12 +23,17 @@ use crate::checks::{Observation, SampleCache};
 use crate::config::SecureConfig;
 use crate::descriptor::{DescriptorId, LinkKind, SecureDescriptor};
 use crate::memo::VerifyMemo;
-use crate::msg::{AcceptBody, RequestBody, RoundBody, RoundReplyBody, SecureMsg};
+use crate::msg::{
+    AcceptBody, JoinGrantBody, JoinPingBody, RequestBody, RoundBody, RoundReplyBody, SecureMsg,
+};
 use crate::proof::{ProofKind, ViolationProof};
 use crate::redemption::RedemptionCache;
+use crate::storage::{PersistentState, StateBackend};
 use crate::time::Timestamp;
 use crate::view::SecureView;
+use crate::wire::{self, WireLimits};
 use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use sc_crypto::{FxHashMap, FxHashSet};
 use sc_crypto::{Keypair, NodeId};
@@ -81,6 +86,10 @@ pub struct SecureStats {
     pub bytes_sent: u64,
     /// Estimated bytes received (paper's §VI-A size model).
     pub bytes_received: u64,
+    /// §V-A rejoin pings sent while starved.
+    pub rejoin_pings: u64,
+    /// §V-A rejoin sponsorships granted to starved peers.
+    pub rejoin_grants: u64,
 }
 
 /// A locally *generated* (not merely received) violation proof.
@@ -155,9 +164,26 @@ pub struct SecureCyclonNode {
     /// copies is rate-limited to one per cycle, mirroring §V-A rule 2 on
     /// the acceptance side).
     last_ns_backfill: Option<u64>,
-    /// Cycle whose fresh-descriptor budget was spent sponsoring a joiner
-    /// (the node skips initiating that cycle to stay frequency-legal).
-    sponsored_cycle: Option<u64>,
+    /// Latest cycle whose fresh-descriptor budget was spent — by
+    /// initiating an exchange *or* by sponsoring a joiner. Creating
+    /// another descriptor inside that cycle would hand observers a valid
+    /// §IV-B frequency proof, so every creation site checks this marker,
+    /// and a durable backend records it *before* the descriptor leaves
+    /// (the crash-restart bugfix: an amnesiac restart must not re-mint).
+    emitted_cycle: Option<u64>,
+    /// Durable home for the incriminating-if-lost state. `None` (the
+    /// default) keeps the node memory-only and cost-free for simulation.
+    backend: Option<Box<dyn StateBackend>>,
+    /// Whether this node has ever held a view entry — distinguishes a
+    /// *starved* node (was connected, drained to empty; §V-A rejoin fires)
+    /// from one still awaiting its initial bootstrap.
+    was_connected: bool,
+    /// Cycle of the last rejoin ping volley (retry throttle).
+    last_rejoin_ping: Option<u64>,
+    /// Cycle of the last sponsorship granted to a starved peer's ping —
+    /// grants are throttled so ping floods cannot starve this node's own
+    /// exchange budget.
+    last_join_grant: Option<u64>,
     /// Proofs awaiting flood dispatch.
     outbox: Vec<ViolationProof>,
     rng: SmallRng,
@@ -206,7 +232,10 @@ impl SecureCyclonNode {
             view: SecureView::new(id, cfg.view_len),
             samples: SampleCache::new(cfg.sample_retention_cycles),
             verify_memo: VerifyMemo::new(cfg.verify_memo_capacity),
-            redemptions: RedemptionCache::new(cfg.redemption_cache_cycles),
+            redemptions: RedemptionCache::bounded(
+                cfg.redemption_cache_cycles,
+                cfg.redemption_cache_max_entries,
+            ),
             pending_ns: VecDeque::with_capacity(cfg.transfer_history_len),
             transfer_history: VecDeque::with_capacity(cfg.transfer_history_len),
             blacklist: Blacklist::new(),
@@ -217,12 +246,197 @@ impl SecureCyclonNode {
             ns_accepted: (0, 0),
             sessions: FxHashMap::default(),
             last_ns_backfill: None,
-            sponsored_cycle: None,
+            emitted_cycle: None,
+            backend: None,
+            was_connected: false,
+            last_rejoin_ping: None,
+            last_join_grant: None,
             outbox: Vec::new(),
             rng: SmallRng::from_seed(rng_seed),
             stats: SecureStats::default(),
             proof_log: Vec::new(),
             cfg,
+        }
+    }
+
+    /// Creates a node wired to a durable [`StateBackend`], recovering any
+    /// state the backend holds from a previous life.
+    ///
+    /// Recovery order matters: monotone knowledge first (blacklist
+    /// proofs, spent-state digests, replay guards), then owned tokens —
+    /// each re-verified and refused if its state digest was already
+    /// signed away. That filter is a second self-incrimination guard: a
+    /// stale checkpoint can contain a descriptor whose ownership left in
+    /// a later, unpersisted exchange, and re-spending it after restart
+    /// would be self-made §IV-B *cloning* evidence. The recovered
+    /// emission marker (see [`SecureCyclonNode::last_emission`]) is the
+    /// frequency half of the same guarantee.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures from [`StateBackend::load`]. Corrupt or torn log
+    /// tails are not errors — the backend recovers the valid prefix.
+    ///
+    /// # Panics
+    ///
+    /// As [`SecureCyclonNode::new`].
+    pub fn with_backend(
+        keypair: Keypair,
+        addr: Addr,
+        cfg: SecureConfig,
+        rng_seed: [u8; 32],
+        phase: u64,
+        mut backend: Box<dyn StateBackend>,
+    ) -> std::io::Result<Self> {
+        let mut node = Self::new(keypair, addr, cfg, rng_seed, phase);
+        if let Some(state) = backend.load(node.cfg.ticks_per_cycle, &WireLimits::DEFAULT)? {
+            node.restore(state);
+        }
+        node.backend = Some(backend);
+        Ok(node)
+    }
+
+    /// Rebuilds protocol state from a recovered checkpoint fold.
+    fn restore(&mut self, state: PersistentState) {
+        self.emitted_cycle = state.emitted_cycle;
+        for (learned, proof) in state.proofs {
+            if proof.validate(self.cfg.ticks_per_cycle).is_ok() {
+                self.blacklist.register(proof, learned);
+            }
+        }
+        for (digest, cycle) in state.spent {
+            self.spent_states.insert(digest, cycle);
+        }
+        for (id, cycle) in state.redeemed_regular {
+            self.redeemed_regular.insert(id, cycle);
+        }
+        for id in state.ns_redeemed {
+            self.ns_redeemed_ids.insert(id);
+        }
+        self.ns_accepted = state.ns_accepted;
+        for (desc, ns) in state.view {
+            if !self.recoverable(&desc) {
+                continue;
+            }
+            if let Some(d) = self.view.try_insert(desc, ns) {
+                self.reserve.push_back(d);
+            }
+        }
+        for desc in state.reserve {
+            if !self.recoverable(&desc) {
+                continue;
+            }
+            if self.reserve.len() < self.cfg.swap_len * 2 {
+                self.reserve.push_back(desc);
+            }
+        }
+        for (cycle, desc) in state.redemptions {
+            if !self.blacklist.contains(&desc.creator()) && desc.verify().is_ok() {
+                self.redemptions.push(desc, cycle);
+            }
+        }
+        if !self.view.is_empty() {
+            self.was_connected = true;
+        }
+    }
+
+    /// Whether a persisted owned descriptor may safely re-enter the view
+    /// pipeline after a restart.
+    fn recoverable(&self, desc: &SecureDescriptor) -> bool {
+        desc.owner() == self.id
+            && desc.creator() != self.id
+            && !desc.is_redeemed()
+            && !self.blacklist.contains(&desc.creator())
+            && !self.spent_states.contains_key(&desc.state_digest())
+            && desc.verify().is_ok()
+    }
+
+    /// Detaches the backend (the simulator's crash-restart path: the
+    /// "disk" survives into the replacement node object).
+    pub fn take_backend(&mut self) -> Option<Box<dyn StateBackend>> {
+        self.backend.take()
+    }
+
+    /// Whether a durable backend is attached.
+    pub fn has_backend(&self) -> bool {
+        self.backend.is_some()
+    }
+
+    /// Latest cycle whose fresh-descriptor budget is spent (recovered
+    /// across restarts when a backend is attached).
+    pub fn last_emission(&self) -> Option<u64> {
+        self.emitted_cycle
+    }
+
+    /// Whether minting a fresh descriptor in `cycle` is frequency-legal.
+    fn may_emit(&self, cycle: u64) -> bool {
+        match self.emitted_cycle {
+            Some(spent) => spent < cycle,
+            None => true,
+        }
+    }
+
+    /// Marks `cycle`'s budget spent, durably *before* the caller lets the
+    /// descriptor leave. A backend write failure is deliberately
+    /// swallowed: the in-memory marker still protects this life, only
+    /// crash-recovery fidelity degrades.
+    fn note_emission(&mut self, cycle: u64) {
+        self.emitted_cycle = Some(cycle);
+        if let Some(b) = self.backend.as_mut() {
+            let _ = b.record_emission(cycle);
+        }
+    }
+
+    /// Records a spent state digest, durably when a backend is attached
+    /// (re-signing a restored copy would be cloning evidence).
+    fn note_spent(&mut self, digest: sc_crypto::Digest, cycle: u64) {
+        self.spent_states.insert(digest, cycle);
+        if let Some(b) = self.backend.as_mut() {
+            let _ = b.record_spent(&digest, cycle);
+        }
+    }
+
+    /// Snapshots the durable slice of the node's state.
+    fn persistent_state(&self, cycle: u64) -> PersistentState {
+        PersistentState {
+            cycle,
+            emitted_cycle: self.emitted_cycle,
+            view: self
+                .view
+                .iter()
+                .map(|e| (e.desc.clone(), e.non_swappable))
+                .collect(),
+            reserve: self.reserve.iter().cloned().collect(),
+            redemptions: self
+                .redemptions
+                .entries()
+                .map(|(c, d)| (c, d.clone()))
+                .collect(),
+            proofs: self
+                .blacklist
+                .proofs()
+                .iter()
+                .map(|p| (p.learned_cycle, p.proof.clone()))
+                .collect(),
+            spent: self.spent_states.iter().map(|(d, c)| (*d, *c)).collect(),
+            redeemed_regular: self
+                .redeemed_regular
+                .iter()
+                .map(|(id, c)| (*id, *c))
+                .collect(),
+            ns_redeemed: self.ns_redeemed_ids.iter().copied().collect(),
+            ns_accepted: self.ns_accepted,
+        }
+    }
+
+    /// End-of-cycle checkpoint (no-op without a backend).
+    fn checkpoint(&mut self, cycle: u64) {
+        if self.backend.is_none() {
+            return;
+        }
+        let state = self.persistent_state(cycle);
+        if let Some(b) = self.backend.as_mut() {
+            let _ = b.save_checkpoint(&state);
         }
     }
 
@@ -327,12 +541,14 @@ impl SecureCyclonNode {
         cycle: u64,
         now: u64,
     ) -> Option<SecureDescriptor> {
-        if self.sponsored_cycle == Some(cycle) || joiner == self.id {
+        if !self.may_emit(cycle) || joiner == self.id {
             return None;
         }
+        // Durable before the grant leaves: a crash between the send and
+        // the next checkpoint must not let a restarted self re-mint.
+        self.note_emission(cycle);
         let fresh = SecureDescriptor::create(&self.keypair, self.addr, Timestamp(now + self.phase));
         let handed = fresh.transfer(&self.keypair, joiner).ok()?;
-        self.sponsored_cycle = Some(cycle);
         self.stats.transfers_sent += 1;
         Some(handed)
     }
@@ -427,6 +643,9 @@ impl SecureCyclonNode {
         let culprit = proof.culprit();
         if !self.blacklist.register(proof.clone(), cycle) {
             return false;
+        }
+        if let Some(b) = self.backend.as_mut() {
+            let _ = b.record_proof(&proof, cycle);
         }
         self.view.purge_creator(&culprit);
         self.samples.purge_creator(&culprit);
@@ -601,7 +820,7 @@ impl SecureCyclonNode {
     /// to keep a copy of a descriptor whose ownership it has transferred
     /// to some other peer, marking it as non-swappable" (§V-A).
     fn lose_to_ns(&mut self, pre: SecureDescriptor, cycle: u64) {
-        self.spent_states.insert(pre.state_digest(), cycle);
+        self.note_spent(pre.state_digest(), cycle);
         if self.pending_ns.len() == self.cfg.transfer_history_len {
             self.pending_ns.pop_front();
         }
@@ -611,7 +830,7 @@ impl SecureCyclonNode {
     /// Remembers the pre-transfer copy of a successfully transferred
     /// descriptor as a last-resort NS back-fill candidate.
     fn remember_transfer(&mut self, pre: SecureDescriptor, cycle: u64) {
-        self.spent_states.insert(pre.state_digest(), cycle);
+        self.note_spent(pre.state_digest(), cycle);
         if self.transfer_history.len() == self.cfg.transfer_history_len {
             self.transfer_history.pop_front();
         }
@@ -962,10 +1181,15 @@ impl SecureCyclonNode {
         let Ok(redeemed) = entry.desc.redeem(&self.keypair, kind) else {
             return;
         };
-        self.spent_states.insert(entry.desc.state_digest(), cycle);
+        self.note_spent(entry.desc.state_digest(), cycle);
         // Keep the redeemed copy circulating as a sample (§V-C).
         self.redemptions.push(redeemed.clone(), cycle);
 
+        // Durable before the descriptor leaves (the crash-restart
+        // frequency bugfix): once the marker is on disk, a `kill -9`
+        // anywhere past this line cannot make the restarted self mint a
+        // second descriptor inside this gossip period.
+        self.note_emission(cycle);
         let fresh_ts = Timestamp(now + self.phase);
         let fresh = SecureDescriptor::create(&self.keypair, self.addr, fresh_ts);
         let Ok(fresh_out) = fresh.transfer(&self.keypair, partner_id) else {
@@ -990,15 +1214,20 @@ impl SecureCyclonNode {
             }
         }
 
-        let request = RequestBody {
+        let request = SecureMsg::Request(Box::new(RequestBody {
             redeemed,
             fresh: fresh_out,
             offered,
             samples: self.collect_samples(),
             proofs: self.recent_proofs(cycle),
-        };
+        }));
         self.stats.initiated += 1;
-        match ctx.rpc(partner_addr, SecureMsg::Request(Box::new(request))) {
+        self.stats.bytes_sent += wire::message_paper_bytes(&request) as u64;
+        let outcome = ctx.rpc(partner_addr, request);
+        if let RpcOutcome::Reply(reply) = &outcome {
+            self.stats.bytes_received += wire::message_paper_bytes(reply) as u64;
+        }
+        match outcome {
             RpcOutcome::Reply(SecureMsg::Accept(body)) => {
                 self.stats.completed += 1;
                 let AcceptBody {
@@ -1061,10 +1290,13 @@ impl SecureCyclonNode {
                 return;
             };
             self.stats.transfers_sent += 1;
-            match ctx.rpc(
-                partner_addr,
-                SecureMsg::Round(Box::new(RoundBody { transfer: out })),
-            ) {
+            let round = SecureMsg::Round(Box::new(RoundBody { transfer: out }));
+            self.stats.bytes_sent += wire::message_paper_bytes(&round) as u64;
+            let outcome = ctx.rpc(partner_addr, round);
+            if let RpcOutcome::Reply(reply) = &outcome {
+                self.stats.bytes_received += wire::message_paper_bytes(reply) as u64;
+            }
+            match outcome {
                 RpcOutcome::Reply(SecureMsg::RoundReply(reply)) => match reply.transfer {
                     Some(d) => {
                         self.remember_transfer(pre, cycle);
@@ -1089,6 +1321,14 @@ impl SecureCyclonNode {
     }
 }
 
+/// Cycles between rejoin-ping volleys while starved.
+const REJOIN_RETRY_CYCLES: u64 = 2;
+/// Addresses pinged per rejoin volley.
+const REJOIN_FANOUT: usize = 3;
+/// Minimum cycles between sponsorships granted to pings — a ping flood
+/// must not permanently consume a node's per-cycle descriptor budget.
+const JOIN_GRANT_GAP_CYCLES: u64 = 4;
+
 impl SecureCyclonNode {
     /// The active-thread logic, generic over the hosting node type so that
     /// wrapper enums (mixed honest/malicious networks) can delegate.
@@ -1097,14 +1337,105 @@ impl SecureCyclonNode {
         let now = ctx.now();
         self.housekeeping(cycle);
         self.backfill(cycle);
-        if self.sponsored_cycle != Some(cycle) {
+        if !self.view.is_empty() {
+            self.was_connected = true;
+        }
+        if self.may_emit(cycle) {
             self.run_exchange(ctx, cycle, now);
         }
         self.backfill(cycle);
+        self.maybe_rejoin_ping(ctx, cycle);
         let mut sends: Vec<(Addr, SecureMsg)> = Vec::new();
         self.drain_floods(&mut |a, m| sends.push((a, m)));
         for (a, m) in sends {
+            self.stats.bytes_sent += wire::message_paper_bytes(&m) as u64;
             ctx.send(a, m);
+        }
+        self.checkpoint(cycle);
+    }
+
+    /// §V-A re-sponsorship initiated by the starved node itself: a node
+    /// that *was* connected but whose view, reserve, and back-fill pools
+    /// have all drained (e.g. a partition outlasted every descriptor)
+    /// pings a few recently sampled creator addresses asking to be
+    /// sponsored back in. Receivers answer with a [`SecureMsg::JoinGrant`]
+    /// processed in [`SecureCyclonNode::on_oneway_any`].
+    fn maybe_rejoin_ping<N: SimNode<Msg = SecureMsg>>(
+        &mut self,
+        ctx: &mut CycleCtx<'_, N>,
+        cycle: u64,
+    ) {
+        if !self.was_connected || !self.starved() {
+            return;
+        }
+        if let Some(last) = self.last_rejoin_ping {
+            if cycle < last.saturating_add(REJOIN_RETRY_CYCLES) {
+                return;
+            }
+        }
+        // Candidate sponsors: creators this node recently heard from.
+        // Sorted before sampling so the choice depends only on the RNG
+        // stream, not on hash-map iteration order.
+        let mut candidates: Vec<Addr> = self
+            .samples
+            .descriptors()
+            .chain(self.redemptions.iter())
+            .filter(|d| d.creator() != self.id && !self.blacklist.contains(&d.creator()))
+            .map(|d| d.addr())
+            .filter(|a| *a != self.addr)
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        if candidates.is_empty() {
+            return;
+        }
+        let (chosen, _) = candidates.partial_shuffle(&mut self.rng, REJOIN_FANOUT);
+        let targets: Vec<Addr> = chosen.to_vec();
+        for addr in targets {
+            let ping = SecureMsg::JoinPing(Box::new(JoinPingBody { joiner: self.id }));
+            self.stats.bytes_sent += wire::message_paper_bytes(&ping) as u64;
+            self.stats.rejoin_pings += 1;
+            ctx.send(addr, ping);
+        }
+        self.last_rejoin_ping = Some(cycle);
+    }
+
+    /// Whether every source of view links has drained.
+    fn starved(&self) -> bool {
+        self.view.is_empty()
+            && self.reserve.is_empty()
+            && self.pending_ns.is_empty()
+            && self.transfer_history.is_empty()
+    }
+
+    /// Answers a starved peer's rejoin ping with a sponsorship, throttled
+    /// and frequency-legal (the grant spends this cycle's budget through
+    /// [`SecureCyclonNode::sponsor_join`]).
+    fn handle_join_ping(
+        &mut self,
+        from: Addr,
+        joiner: NodeId,
+        cycle: u64,
+        ctx: &mut NodeCtx<'_, SecureMsg>,
+    ) {
+        if joiner == self.id || self.blacklist.contains(&joiner) {
+            return;
+        }
+        if let Some(last) = self.last_join_grant {
+            if cycle < last.saturating_add(JOIN_GRANT_GAP_CYCLES) {
+                return;
+            }
+        }
+        let now = ctx.now();
+        if let Some(desc) = self.sponsor_join(joiner, cycle, now) {
+            self.last_join_grant = Some(cycle);
+            self.stats.rejoin_grants += 1;
+            let grant = SecureMsg::JoinGrant(Box::new(JoinGrantBody {
+                descriptor: desc,
+                proofs: self.recent_proofs(cycle),
+            }));
+            self.stats.bytes_sent += wire::message_paper_bytes(&grant) as u64;
+            ctx.send(from, grant);
         }
     }
 
@@ -1117,29 +1448,49 @@ impl SecureCyclonNode {
     ) -> Option<SecureMsg> {
         let cycle = ctx.cycle();
         let now = ctx.now();
+        self.stats.bytes_received += wire::message_paper_bytes(&msg) as u64;
         let reply = match msg {
             SecureMsg::Request(body) => self.handle_request(from, *body, cycle, now),
             SecureMsg::Round(body) => self.handle_round(from, *body, cycle),
             _ => None,
         };
+        if let Some(r) = &reply {
+            self.stats.bytes_sent += wire::message_paper_bytes(r) as u64;
+        }
         let mut sends: Vec<(Addr, SecureMsg)> = Vec::new();
         self.drain_floods(&mut |a, m| sends.push((a, m)));
         for (a, m) in sends {
+            self.stats.bytes_sent += wire::message_paper_bytes(&m) as u64;
             ctx.send(a, m);
         }
         reply
     }
 
     /// The datagram logic, reusable by wrapper enums.
-    pub fn on_oneway_any(&mut self, _from: Addr, msg: SecureMsg, ctx: &mut NodeCtx<'_, SecureMsg>) {
-        if let SecureMsg::Proof(proof) = msg {
-            let cycle = ctx.cycle();
-            self.accept_remote_proof(*proof, cycle);
-            let mut sends: Vec<(Addr, SecureMsg)> = Vec::new();
-            self.drain_floods(&mut |a, m| sends.push((a, m)));
-            for (a, m) in sends {
-                ctx.send(a, m);
+    pub fn on_oneway_any(&mut self, from: Addr, msg: SecureMsg, ctx: &mut NodeCtx<'_, SecureMsg>) {
+        let cycle = ctx.cycle();
+        self.stats.bytes_received += wire::message_paper_bytes(&msg) as u64;
+        match msg {
+            SecureMsg::Proof(proof) => {
+                self.accept_remote_proof(*proof, cycle);
             }
+            SecureMsg::JoinPing(body) => {
+                self.handle_join_ping(from, body.joiner, cycle, ctx);
+            }
+            SecureMsg::JoinGrant(body) => {
+                let JoinGrantBody { descriptor, proofs } = *body;
+                self.process_proofs(proofs, cycle);
+                if self.accept_sponsorship(descriptor, cycle) {
+                    self.was_connected = true;
+                }
+            }
+            _ => return,
+        }
+        let mut sends: Vec<(Addr, SecureMsg)> = Vec::new();
+        self.drain_floods(&mut |a, m| sends.push((a, m)));
+        for (a, m) in sends {
+            self.stats.bytes_sent += wire::message_paper_bytes(&m) as u64;
+            ctx.send(a, m);
         }
     }
 }
@@ -1517,5 +1868,100 @@ mod tests {
         // Retention bounds memory: far fewer samples than total descriptors
         // ever created (32 nodes × 30 cycles plus bootstrap).
         assert!(counts.iter().all(|&c| c < 32 * 38));
+    }
+
+    #[test]
+    fn restart_cannot_reopen_a_spent_emission_budget() {
+        // THE crash-restart frequency bugfix: an honest node killed after
+        // its descriptor left but before the cycle ended must not re-mint
+        // on restart — two mints in one period are a valid §IV-B
+        // frequency proof *against itself*.
+        use crate::storage::MemoryBackend;
+        let kps = keypairs(3);
+        let cfg = small_cfg().validated();
+        let mut node = SecureCyclonNode::with_backend(
+            kps[0].clone(),
+            0,
+            cfg,
+            [1u8; 32],
+            0,
+            Box::new(MemoryBackend::new()),
+        )
+        .unwrap();
+        let grant = node.sponsor_join(kps[1].public(), 5, 5_000);
+        assert!(grant.is_some(), "budget available before the crash");
+        assert!(!node.may_emit(5));
+
+        // kill -9: the node object dies, only the "disk" survives.
+        let disk = node.take_backend().unwrap();
+        let mut revived =
+            SecureCyclonNode::with_backend(kps[0].clone(), 0, cfg, [2u8; 32], 0, disk).unwrap();
+        assert_eq!(revived.last_emission(), Some(5), "marker recovered");
+        assert!(!revived.may_emit(5), "budget stays spent across restart");
+        assert!(
+            revived.sponsor_join(kps[2].public(), 5, 5_100).is_none(),
+            "a second emission in cycle 5 would be self-incriminating"
+        );
+        assert!(revived.may_emit(6), "next cycle's budget is untouched");
+
+        // An amnesiac restart (no backend) is exactly the old bug: it
+        // would have emitted again.
+        let amnesiac = SecureCyclonNode::new(kps[0].clone(), 0, cfg, [3u8; 32], 0);
+        assert!(
+            amnesiac.may_emit(5),
+            "without durable state the bug is live"
+        );
+    }
+
+    #[test]
+    fn restart_restores_view_blacklist_and_spent_guard() {
+        use crate::storage::MemoryBackend;
+        let kps = keypairs(4);
+        let (me, peer, next) = (&kps[0], &kps[1], &kps[2]);
+        let cfg = small_cfg().validated();
+        let mut node = SecureCyclonNode::with_backend(
+            me.clone(),
+            0,
+            cfg,
+            [1u8; 32],
+            0,
+            Box::new(MemoryBackend::new()),
+        )
+        .unwrap();
+
+        // A held descriptor, a blacklisted culprit, and a spent state.
+        let held = SecureDescriptor::create(peer, 1, Timestamp(0))
+            .transfer(peer, me.public())
+            .unwrap();
+        node.accept_transfer(held, peer.public(), 0);
+        assert_eq!(node.view().len(), 1);
+
+        let culprit_kp = &kps[3];
+        let d1 = SecureDescriptor::create(culprit_kp, 3, Timestamp(0));
+        let d2 = SecureDescriptor::create(culprit_kp, 3, Timestamp(cfg.ticks_per_cycle / 2));
+        let proof = ViolationProof::frequency(d1, d2, cfg.ticks_per_cycle).unwrap();
+        let culprit = proof.culprit();
+        assert!(node.accept_remote_proof(proof, 2));
+
+        let spent = SecureDescriptor::create(next, 2, Timestamp(10))
+            .transfer(next, me.public())
+            .unwrap();
+        node.remember_transfer(spent.clone(), 2);
+        node.checkpoint(2);
+
+        let disk = node.take_backend().unwrap();
+        let mut revived =
+            SecureCyclonNode::with_backend(me.clone(), 0, cfg, [2u8; 32], 0, disk).unwrap();
+        assert_eq!(revived.view().len(), 1, "held descriptor recovered");
+        assert!(revived.blacklist().contains(&culprit), "blacklist survived");
+        // Re-delivery of the already-signed-away state is refused: signing
+        // it a second time would be self-made §IV-B cloning evidence.
+        let rejected_before = revived.stats().transfers_rejected;
+        revived.accept_transfer(spent, next.public(), 3);
+        assert_eq!(
+            revived.stats().transfers_rejected,
+            rejected_before + 1,
+            "spent-state guard survived the restart"
+        );
     }
 }

@@ -12,29 +12,53 @@ use sc_crypto::NodeId;
 use std::collections::VecDeque;
 
 /// FIFO cache of recently redeemed descriptors.
+///
+/// Bounded two ways: by *age* (`prune` drops entries older than the
+/// retention window) and by *count* (`push` evicts the oldest entry once
+/// `max_entries` is reached). The age bound alone is not enough — under
+/// heavy churn one retention window can see arbitrarily many redemptions,
+/// and every entry is shipped as a sample in every gossip message, so an
+/// unbounded cache inflates both memory and §VI-A traffic.
 #[derive(Debug, Default)]
 pub struct RedemptionCache {
     entries: VecDeque<(u64, SecureDescriptor)>,
     retention_cycles: u64,
+    max_entries: usize,
 }
 
 impl RedemptionCache {
     /// Creates a cache retaining redeemed descriptors for
-    /// `retention_cycles` cycles. Zero disables the mechanism (the paper's
-    /// "no redemption cache" baseline in Figure 7).
+    /// `retention_cycles` cycles, with no entry cap. Zero disables the
+    /// mechanism (the paper's "no redemption cache" baseline in Figure 7).
     pub fn new(retention_cycles: u64) -> Self {
+        Self::bounded(retention_cycles, 0)
+    }
+
+    /// Creates a cache bounded by age *and* entry count. A
+    /// `max_entries` of zero means "no cap".
+    pub fn bounded(retention_cycles: u64, max_entries: usize) -> Self {
         RedemptionCache {
             entries: VecDeque::new(),
             retention_cycles,
+            max_entries,
         }
     }
 
-    /// Records a descriptor this node just redeemed.
+    /// Records a descriptor this node just redeemed, evicting the oldest
+    /// entry if the cache is at its entry cap.
     pub fn push(&mut self, desc: SecureDescriptor, cycle: u64) {
         if self.retention_cycles == 0 {
             return;
         }
+        while self.max_entries > 0 && self.entries.len() >= self.max_entries {
+            self.entries.pop_front();
+        }
         self.entries.push_back((cycle, desc));
+    }
+
+    /// The entry cap (0 = uncapped).
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
     }
 
     /// Number of retained descriptors.
@@ -50,6 +74,12 @@ impl RedemptionCache {
     /// Iterates over the retained descriptors (sent as gossip samples).
     pub fn iter(&self) -> impl Iterator<Item = &SecureDescriptor> {
         self.entries.iter().map(|(_, d)| d)
+    }
+
+    /// Iterates over `(redeemed_cycle, descriptor)` pairs — the shape a
+    /// durable-state checkpoint persists.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, &SecureDescriptor)> {
+        self.entries.iter().map(|(c, d)| (*c, d))
     }
 
     /// Drops entries older than the retention window.
@@ -104,6 +134,23 @@ mod tests {
         let mut cache = RedemptionCache::new(0);
         cache.push(redeemed(1, 0), 10);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn entry_cap_evicts_oldest_first() {
+        let mut cache = RedemptionCache::bounded(5, 3);
+        for tag in 1..=5u8 {
+            cache.push(redeemed(tag, tag as u64 * 100), 10);
+        }
+        assert_eq!(cache.len(), 3, "cap enforced");
+        let held: Vec<u64> = cache.iter().map(|d| d.created_at().0).collect();
+        assert_eq!(held, vec![300, 400, 500], "oldest entries evicted");
+        // Uncapped cache keeps everything within the window.
+        let mut open = RedemptionCache::new(5);
+        for tag in 1..=5u8 {
+            open.push(redeemed(tag, tag as u64 * 100), 10);
+        }
+        assert_eq!(open.len(), 5);
     }
 
     #[test]

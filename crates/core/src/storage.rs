@@ -1,0 +1,935 @@
+//! Durable node state: storage backends and crash-restart recovery.
+//!
+//! SecureCyclon's accountability cuts both ways: the signed artifacts that
+//! convict a violator (§IV-B) convict an *amnesiac honest node* just as
+//! readily. A node that crashes after minting its per-cycle descriptor and
+//! restarts without remembering it will mint a second one inside the same
+//! gossip period — two genesis signatures by one key, less than a period
+//! apart, which is precisely a frequency-violation proof. Durability is
+//! therefore a protocol-correctness requirement, not an operational nicety.
+//!
+//! This module provides the [`StateBackend`] trait and two
+//! implementations:
+//!
+//! * [`MemoryBackend`] — in-RAM, used by the simulator's crash-restart
+//!   scenarios (state survives the *node object*, not the process);
+//! * [`FileBackend`] — an append-only log of checksummed records with
+//!   truncated-tail recovery, used by the `sc-node` daemon behind
+//!   `--state-dir`.
+//!
+//! # What is persisted
+//!
+//! A [`PersistentState`] checkpoint carries everything whose loss is
+//! either self-incriminating or monotone protocol knowledge: the view and
+//! reserve (owned descriptor tokens — losing one permanently destroys a
+//! link), the redemption cache (§V-C), the blacklist's proofs (§IV-C),
+//! the spent-state digests (re-signing an already-continued state is
+//! self-made *cloning* evidence), the regular/NS redemption replay
+//! guards, and the per-cycle emission marker (the frequency bugfix).
+//! Purely ephemeral machinery — open sessions, the sample cache, the
+//! verify memo, pending floods — is deliberately rebuilt from gossip.
+//!
+//! # Log format
+//!
+//! Each record is framed as
+//! `[u32 payload_len][u8 kind][u32 checksum][payload]` (big-endian),
+//! where the checksum is the first four bytes of
+//! `SHA-256(kind || payload)`. Small incremental records (`emit`,
+//! `proof`, `spent`) are appended synchronously at the protocol points
+//! where losing them would be incriminating; a full checkpoint record is
+//! appended once per cycle. Recovery replays the log in order — a
+//! checkpoint *replaces* the folded state, incremental records *merge*
+//! into it — and stops at the first torn or corrupt record, so a partial
+//! final record (the normal shape of a `kill -9` mid-append) is never
+//! resurrected. When the log outgrows a threshold it is compacted to a
+//! single checkpoint record via write-to-temp + rename.
+//!
+//! Durability target: surviving process death (`kill -9`) requires only
+//! that the `write` syscall returned — the page cache outlives the
+//! process. Surviving power loss would additionally need `fsync`, which
+//! this backend deliberately skips to keep the per-cycle cost at one
+//! buffered write.
+
+use crate::descriptor::{DescriptorId, SecureDescriptor};
+use crate::proof::ViolationProof;
+use crate::time::Timestamp;
+use crate::wire::{decode_descriptor_with, decode_proof_with, encode_descriptor, encode_proof};
+use crate::wire::{WireError, WireLimits};
+use sc_crypto::{sha256, Digest, NodeId, PUBLIC_KEY_LEN};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Record kind: a full [`PersistentState`] checkpoint.
+const REC_CHECKPOINT: u8 = 1;
+/// Record kind: the per-cycle descriptor-emission marker (`u64` cycle).
+const REC_EMIT: u8 = 2;
+/// Record kind: a learned violation proof (`u64` cycle + proof).
+const REC_PROOF: u8 = 3;
+/// Record kind: a spent state digest (`32B` digest + `u64` cycle).
+const REC_SPENT: u8 = 4;
+
+/// Bytes of record framing before the payload.
+const RECORD_HEADER_BYTES: usize = 4 + 1 + 4;
+
+/// Serialized-state format version (first payload byte of a checkpoint).
+const STATE_VERSION: u8 = 1;
+
+/// Everything a node persists across a crash.
+///
+/// Field order mirrors recovery priority: the emission marker is the
+/// frequency bugfix, owned descriptors are irreplaceable tokens, the rest
+/// is monotone knowledge that keeps the restarted node honest and
+/// informed.
+#[derive(Clone, Debug, Default)]
+pub struct PersistentState {
+    /// Cycle at which this checkpoint was taken.
+    pub cycle: u64,
+    /// Cycle whose fresh-descriptor budget was already spent (emission or
+    /// sponsorship). Re-minting within this cycle would be a provable
+    /// frequency violation.
+    pub emitted_cycle: Option<u64>,
+    /// View entries: owned descriptor + non-swappable marker (§V-A).
+    pub view: Vec<(SecureDescriptor, bool)>,
+    /// Owned descriptors waiting for a view slot.
+    pub reserve: Vec<SecureDescriptor>,
+    /// Redemption cache entries as `(redeemed_cycle, descriptor)` (§V-C).
+    pub redemptions: Vec<(u64, SecureDescriptor)>,
+    /// Blacklist evidence as `(learned_cycle, proof)` (§IV-C).
+    pub proofs: Vec<(u64, ViolationProof)>,
+    /// State digests already signed away, with the signing cycle.
+    pub spent: Vec<(Digest, u64)>,
+    /// Regular-redemption replay guard: redeemed own-descriptor identities
+    /// with the acceptance cycle.
+    pub redeemed_regular: Vec<(DescriptorId, u64)>,
+    /// Own-descriptor identities ever redeemed non-swappably (§V-A).
+    pub ns_redeemed: Vec<DescriptorId>,
+    /// `(cycle, count)` of NS redemptions accepted in `cycle`.
+    pub ns_accepted: (u64, u32),
+}
+
+impl PersistentState {
+    /// Whether the state carries nothing worth restoring.
+    pub fn is_trivial(&self) -> bool {
+        self.emitted_cycle.is_none()
+            && self.view.is_empty()
+            && self.reserve.is_empty()
+            && self.redemptions.is_empty()
+            && self.proofs.is_empty()
+            && self.spent.is_empty()
+            && self.redeemed_regular.is_empty()
+            && self.ns_redeemed.is_empty()
+    }
+
+    /// Merges an incremental emission record.
+    fn merge_emission(&mut self, cycle: u64) {
+        self.emitted_cycle = Some(self.emitted_cycle.map_or(cycle, |c| c.max(cycle)));
+    }
+
+    /// Merges an incremental proof record (dedup by culprit, like the
+    /// in-memory blacklist).
+    fn merge_proof(&mut self, proof: ViolationProof, learned_cycle: u64) {
+        let culprit = proof.culprit();
+        if self.proofs.iter().any(|(_, p)| p.culprit() == culprit) {
+            return;
+        }
+        self.proofs.push((learned_cycle, proof));
+    }
+
+    /// Merges an incremental spent-digest record.
+    fn merge_spent(&mut self, digest: Digest, cycle: u64) {
+        if self.spent.iter().any(|(d, _)| *d == digest) {
+            return;
+        }
+        self.spent.push((digest, cycle));
+    }
+}
+
+/// A durable home for the incriminating-if-lost parts of a node's state.
+///
+/// All `record_*` methods are called synchronously at the protocol point
+/// where the information becomes dangerous to forget — *before* the
+/// corresponding artifact leaves the node. `save_checkpoint` runs once
+/// per cycle and may compact. `load` is called once at construction.
+pub trait StateBackend: Send {
+    /// Records that `cycle`'s fresh-descriptor budget is spent. Must be
+    /// durable before the descriptor (or sponsorship grant) is sent.
+    fn record_emission(&mut self, cycle: u64) -> io::Result<()>;
+
+    /// Records a validated violation proof learned at `learned_cycle`.
+    fn record_proof(&mut self, proof: &ViolationProof, learned_cycle: u64) -> io::Result<()>;
+
+    /// Records a state digest this node signed a continuation for.
+    fn record_spent(&mut self, digest: &Digest, cycle: u64) -> io::Result<()>;
+
+    /// Appends a full checkpoint (and may compact the log behind it).
+    fn save_checkpoint(&mut self, state: &PersistentState) -> io::Result<()>;
+
+    /// Folds the stored records into the state to restore, or `None` when
+    /// nothing was ever recorded. `period_ticks` re-validates recovered
+    /// proofs; `limits` bounds decoder allocations exactly as on the wire.
+    fn load(
+        &mut self,
+        period_ticks: u64,
+        limits: &WireLimits,
+    ) -> io::Result<Option<PersistentState>>;
+}
+
+/// In-RAM backend: state survives the node *object*, not the process.
+///
+/// This is what the simulator's crash-restart scenarios use — the engine
+/// rebuilds a `SecureCyclonNode` around the backend extracted from its
+/// predecessor, modelling a daemon restarting from disk without any I/O.
+#[derive(Debug, Default)]
+pub struct MemoryBackend {
+    checkpoint: Option<PersistentState>,
+    tail: Vec<TailRecord>,
+}
+
+#[derive(Debug)]
+enum TailRecord {
+    Emit(u64),
+    Proof(Box<ViolationProof>, u64),
+    Spent(Digest, u64),
+}
+
+impl MemoryBackend {
+    /// Creates an empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StateBackend for MemoryBackend {
+    fn record_emission(&mut self, cycle: u64) -> io::Result<()> {
+        self.tail.push(TailRecord::Emit(cycle));
+        Ok(())
+    }
+
+    fn record_proof(&mut self, proof: &ViolationProof, learned_cycle: u64) -> io::Result<()> {
+        self.tail
+            .push(TailRecord::Proof(Box::new(proof.clone()), learned_cycle));
+        Ok(())
+    }
+
+    fn record_spent(&mut self, digest: &Digest, cycle: u64) -> io::Result<()> {
+        self.tail.push(TailRecord::Spent(*digest, cycle));
+        Ok(())
+    }
+
+    fn save_checkpoint(&mut self, state: &PersistentState) -> io::Result<()> {
+        // A checkpoint subsumes every record before it: compact eagerly.
+        self.checkpoint = Some(state.clone());
+        self.tail.clear();
+        Ok(())
+    }
+
+    fn load(
+        &mut self,
+        _period_ticks: u64,
+        _limits: &WireLimits,
+    ) -> io::Result<Option<PersistentState>> {
+        if self.checkpoint.is_none() && self.tail.is_empty() {
+            return Ok(None);
+        }
+        let mut state = self.checkpoint.clone().unwrap_or_default();
+        for rec in &self.tail {
+            match rec {
+                TailRecord::Emit(c) => state.merge_emission(*c),
+                TailRecord::Proof(p, c) => state.merge_proof((**p).clone(), *c),
+                TailRecord::Spent(d, c) => state.merge_spent(*d, *c),
+            }
+        }
+        Ok(Some(state))
+    }
+}
+
+/// Append-only log-file backend with checksummed records and
+/// truncated-tail recovery. See the module docs for the format.
+#[derive(Debug)]
+pub struct FileBackend {
+    path: PathBuf,
+    file: Option<File>,
+    /// Bytes currently in the log (drives compaction).
+    written: u64,
+    /// Compact when the log exceeds this many bytes.
+    compact_threshold: u64,
+}
+
+/// Default compaction threshold: a checkpoint of a full ℓ=20 view with
+/// long chains is a few tens of KiB, so this keeps a handful of
+/// checkpoints of slack before each rewrite.
+const DEFAULT_COMPACT_THRESHOLD: u64 = 256 * 1024;
+
+impl FileBackend {
+    /// Opens (creating if absent) the log at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (missing parent directory is created).
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<FileBackend> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let written = file.metadata()?.len();
+        Ok(FileBackend {
+            path,
+            file: Some(file),
+            written,
+            compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+        })
+    }
+
+    /// Overrides the compaction threshold (tests use tiny values).
+    pub fn with_compact_threshold(mut self, bytes: u64) -> FileBackend {
+        self.compact_threshold = bytes.max(1);
+        self
+    }
+
+    /// The log path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes currently in the log.
+    pub fn log_bytes(&self) -> u64 {
+        self.written
+    }
+
+    fn append(&mut self, kind: u8, payload: &[u8]) -> io::Result<()> {
+        let mut frame = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.push(kind);
+        frame.extend_from_slice(&record_checksum(kind, payload));
+        frame.extend_from_slice(payload);
+        let file = match self.file.as_mut() {
+            Some(f) => f,
+            None => {
+                self.file = Some(
+                    OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(&self.path)?,
+                );
+                self.file.as_mut().expect("just opened")
+            }
+        };
+        file.write_all(&frame)?;
+        self.written += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Rewrites the log as a single checkpoint record (temp + rename).
+    fn compact(&mut self, state: &PersistentState) -> io::Result<()> {
+        let payload = encode_state(state);
+        let mut frame = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.push(REC_CHECKPOINT);
+        frame.extend_from_slice(&record_checksum(REC_CHECKPOINT, &payload));
+        frame.extend_from_slice(&payload);
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&frame)?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // Reopen the append handle on the new inode.
+        self.file = Some(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)?,
+        );
+        self.written = frame.len() as u64;
+        Ok(())
+    }
+}
+
+impl StateBackend for FileBackend {
+    fn record_emission(&mut self, cycle: u64) -> io::Result<()> {
+        self.append(REC_EMIT, &cycle.to_be_bytes())
+    }
+
+    fn record_proof(&mut self, proof: &ViolationProof, learned_cycle: u64) -> io::Result<()> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&learned_cycle.to_be_bytes());
+        encode_proof(proof, &mut payload);
+        self.append(REC_PROOF, &payload)
+    }
+
+    fn record_spent(&mut self, digest: &Digest, cycle: u64) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(40);
+        payload.extend_from_slice(digest);
+        payload.extend_from_slice(&cycle.to_be_bytes());
+        self.append(REC_SPENT, &payload)
+    }
+
+    fn save_checkpoint(&mut self, state: &PersistentState) -> io::Result<()> {
+        if self.written >= self.compact_threshold {
+            return self.compact(state);
+        }
+        self.append(REC_CHECKPOINT, &encode_state(state))
+    }
+
+    fn load(
+        &mut self,
+        period_ticks: u64,
+        limits: &WireLimits,
+    ) -> io::Result<Option<PersistentState>> {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(fold_log(&bytes, period_ticks, limits))
+    }
+}
+
+fn record_checksum(kind: u8, payload: &[u8]) -> [u8; 4] {
+    let digest = sha256(&{
+        let mut msg = Vec::with_capacity(1 + payload.len());
+        msg.push(kind);
+        msg.extend_from_slice(payload);
+        msg
+    });
+    [digest[0], digest[1], digest[2], digest[3]]
+}
+
+/// Folds a raw log into the recovered state. Scanning stops at the first
+/// record that is torn (frame extends past the buffer), checksum-corrupt,
+/// or undecodable — everything before that prefix is kept, nothing after
+/// it is trusted. Returns `None` when not even one record survived.
+fn fold_log(bytes: &[u8], period_ticks: u64, limits: &WireLimits) -> Option<PersistentState> {
+    let mut state: Option<PersistentState> = None;
+    let mut pos = 0usize;
+    while bytes.len() - pos >= RECORD_HEADER_BYTES {
+        let len = u32::from_be_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        let kind = bytes[pos + 4];
+        let sum = &bytes[pos + 5..pos + 9];
+        let Some(end) = (pos + RECORD_HEADER_BYTES).checked_add(len) else {
+            break;
+        };
+        if end > bytes.len() {
+            break; // torn tail
+        }
+        let payload = &bytes[pos + RECORD_HEADER_BYTES..end];
+        if record_checksum(kind, payload) != sum[..] {
+            break; // bit rot / mid-record corruption
+        }
+        match kind {
+            REC_CHECKPOINT => match decode_state(payload, period_ticks, limits) {
+                Ok(s) => state = Some(s),
+                Err(_) => break,
+            },
+            REC_EMIT => {
+                if payload.len() != 8 {
+                    break;
+                }
+                let mut c = [0u8; 8];
+                c.copy_from_slice(payload);
+                state
+                    .get_or_insert_with(PersistentState::default)
+                    .merge_emission(u64::from_be_bytes(c));
+            }
+            REC_PROOF => {
+                if payload.len() < 8 {
+                    break;
+                }
+                let mut c = [0u8; 8];
+                c.copy_from_slice(&payload[..8]);
+                match decode_proof_with(&payload[8..], period_ticks, limits) {
+                    Ok((proof, used)) if used == payload.len() - 8 => {
+                        state
+                            .get_or_insert_with(PersistentState::default)
+                            .merge_proof(proof, u64::from_be_bytes(c));
+                    }
+                    _ => break,
+                }
+            }
+            REC_SPENT => {
+                if payload.len() != 40 {
+                    break;
+                }
+                let mut d = [0u8; 32];
+                d.copy_from_slice(&payload[..32]);
+                let mut c = [0u8; 8];
+                c.copy_from_slice(&payload[32..]);
+                state
+                    .get_or_insert_with(PersistentState::default)
+                    .merge_spent(d, u64::from_be_bytes(c));
+            }
+            _ => break, // unknown kind: future format or corruption
+        }
+        pos = end;
+    }
+    state
+}
+
+// ---- PersistentState (de)serialization -------------------------------
+//
+// Built on the wire codec's descriptor/proof encoders so the disk format
+// inherits the same allocation bounds and validation the network path
+// has. Counts are `u16`/`u32` big-endian; every length is re-checked
+// against the remaining input before any buffer is reserved.
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn encode_state(state: &PersistentState) -> Vec<u8> {
+    let mut out = Vec::with_capacity(512);
+    out.push(STATE_VERSION);
+    put_u64(&mut out, state.cycle);
+    match state.emitted_cycle {
+        Some(c) => {
+            out.push(1);
+            put_u64(&mut out, c);
+        }
+        None => out.push(0),
+    }
+    put_u16(&mut out, state.view.len() as u16);
+    for (desc, ns) in &state.view {
+        out.push(u8::from(*ns));
+        encode_descriptor(desc, &mut out);
+    }
+    put_u16(&mut out, state.reserve.len() as u16);
+    for desc in &state.reserve {
+        encode_descriptor(desc, &mut out);
+    }
+    put_u16(&mut out, state.redemptions.len() as u16);
+    for (cycle, desc) in &state.redemptions {
+        put_u64(&mut out, *cycle);
+        encode_descriptor(desc, &mut out);
+    }
+    put_u16(&mut out, state.proofs.len() as u16);
+    for (cycle, proof) in &state.proofs {
+        put_u64(&mut out, *cycle);
+        encode_proof(proof, &mut out);
+    }
+    put_u32(&mut out, state.spent.len() as u32);
+    for (digest, cycle) in &state.spent {
+        out.extend_from_slice(digest);
+        put_u64(&mut out, *cycle);
+    }
+    put_u32(&mut out, state.redeemed_regular.len() as u32);
+    for (id, cycle) in &state.redeemed_regular {
+        out.extend_from_slice(id.creator.as_bytes());
+        put_u64(&mut out, id.created_at.0);
+        put_u64(&mut out, *cycle);
+    }
+    put_u32(&mut out, state.ns_redeemed.len() as u32);
+    for id in &state.ns_redeemed {
+        out.extend_from_slice(id.creator.as_bytes());
+        put_u64(&mut out, id.created_at.0);
+    }
+    put_u64(&mut out, state.ns_accepted.0);
+    put_u32(&mut out, state.ns_accepted.1);
+    out
+}
+
+/// A minimal bounds-checked cursor (the wire module's `Reader` is
+/// private by design; this mirrors its discipline).
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    fn key(&mut self) -> Result<NodeId, WireError> {
+        let b = self.take(PUBLIC_KEY_LEN)?;
+        let mut a = [0u8; PUBLIC_KEY_LEN];
+        a.copy_from_slice(b);
+        NodeId::from_bytes(a).ok_or(WireError::BadPublicKey)
+    }
+
+    fn digest(&mut self) -> Result<Digest, WireError> {
+        let b = self.take(32)?;
+        let mut a = [0u8; 32];
+        a.copy_from_slice(b);
+        Ok(a)
+    }
+
+    fn descriptor(&mut self, limits: &WireLimits) -> Result<SecureDescriptor, WireError> {
+        let (desc, used) = decode_descriptor_with(&self.buf[self.pos..], limits)?;
+        self.pos += used;
+        Ok(desc)
+    }
+
+    fn proof(
+        &mut self,
+        period_ticks: u64,
+        limits: &WireLimits,
+    ) -> Result<ViolationProof, WireError> {
+        let (proof, used) = decode_proof_with(&self.buf[self.pos..], period_ticks, limits)?;
+        self.pos += used;
+        Ok(proof)
+    }
+
+    /// Rejects a count whose minimal encoding cannot fit in the input.
+    fn check_count(&self, n: usize, max: usize, min_elem: usize) -> Result<(), WireError> {
+        if n > max {
+            return Err(WireError::ListTooLong(n.min(u16::MAX as usize) as u16));
+        }
+        if n.saturating_mul(min_elem) > self.remaining() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        Ok(())
+    }
+}
+
+fn decode_state(
+    buf: &[u8],
+    period_ticks: u64,
+    limits: &WireLimits,
+) -> Result<PersistentState, WireError> {
+    let mut c = Cursor { buf, pos: 0 };
+    if c.u8()? != STATE_VERSION {
+        return Err(WireError::BadMessageTag(buf[0]));
+    }
+    let mut state = PersistentState {
+        cycle: c.u64()?,
+        ..Default::default()
+    };
+    if c.u8()? != 0 {
+        state.emitted_cycle = Some(c.u64()?);
+    }
+
+    let n = c.u16()? as usize;
+    c.check_count(n, limits.max_list_len, 1)?;
+    for _ in 0..n {
+        let ns = c.u8()? != 0;
+        state.view.push((c.descriptor(limits)?, ns));
+    }
+
+    let n = c.u16()? as usize;
+    c.check_count(n, limits.max_list_len, 1)?;
+    for _ in 0..n {
+        state.reserve.push(c.descriptor(limits)?);
+    }
+
+    let n = c.u16()? as usize;
+    c.check_count(n, limits.max_list_len, 8)?;
+    for _ in 0..n {
+        let cycle = c.u64()?;
+        state.redemptions.push((cycle, c.descriptor(limits)?));
+    }
+
+    let n = c.u16()? as usize;
+    c.check_count(n, limits.max_proofs, 8)?;
+    for _ in 0..n {
+        let cycle = c.u64()?;
+        state.proofs.push((cycle, c.proof(period_ticks, limits)?));
+    }
+
+    let n = c.u32()? as usize;
+    c.check_count(n, limits.max_list_len, 40)?;
+    for _ in 0..n {
+        let digest = c.digest()?;
+        state.spent.push((digest, c.u64()?));
+    }
+
+    let n = c.u32()? as usize;
+    c.check_count(n, limits.max_list_len, PUBLIC_KEY_LEN + 16)?;
+    for _ in 0..n {
+        let creator = c.key()?;
+        let created_at = Timestamp(c.u64()?);
+        let cycle = c.u64()?;
+        state.redeemed_regular.push((
+            DescriptorId {
+                creator,
+                created_at,
+            },
+            cycle,
+        ));
+    }
+
+    let n = c.u32()? as usize;
+    c.check_count(n, limits.max_list_len, PUBLIC_KEY_LEN + 8)?;
+    for _ in 0..n {
+        let creator = c.key()?;
+        let created_at = Timestamp(c.u64()?);
+        state.ns_redeemed.push(DescriptorId {
+            creator,
+            created_at,
+        });
+    }
+
+    state.ns_accepted = (c.u64()?, c.u32()?);
+    if c.remaining() != 0 {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::SecureDescriptor;
+    use sc_crypto::{Keypair, Scheme};
+
+    const PERIOD: u64 = 1000;
+
+    fn kp(tag: u8) -> Keypair {
+        Keypair::from_seed(Scheme::Schnorr61, [tag; 32])
+    }
+
+    fn owned_desc(creator_tag: u8, ts: u64, owner: &Keypair) -> SecureDescriptor {
+        let c = kp(creator_tag);
+        SecureDescriptor::create(&c, creator_tag as u32, Timestamp(ts))
+            .transfer(&c, owner.public())
+            .unwrap()
+    }
+
+    fn freq_proof(tag: u8) -> ViolationProof {
+        let culprit = kp(tag);
+        let d1 = SecureDescriptor::create(&culprit, 9, Timestamp(100));
+        let d2 = SecureDescriptor::create(&culprit, 9, Timestamp(101));
+        ViolationProof::frequency(d1, d2, PERIOD).unwrap()
+    }
+
+    fn sample_state() -> PersistentState {
+        let me = kp(0);
+        let d1 = owned_desc(1, 500, &me);
+        let d2 = owned_desc(2, 900, &me);
+        let spent = d1.state_digest();
+        PersistentState {
+            cycle: 42,
+            emitted_cycle: Some(42),
+            view: vec![(d1.clone(), false), (d2, true)],
+            reserve: vec![owned_desc(3, 1200, &me)],
+            redemptions: vec![(41, owned_desc(4, 1500, &me))],
+            proofs: vec![(40, freq_proof(7))],
+            spent: vec![(spent, 41)],
+            redeemed_regular: vec![(d1.id(), 39)],
+            ns_redeemed: vec![d1.id()],
+            ns_accepted: (42, 1),
+        }
+    }
+
+    fn assert_states_equal(a: &PersistentState, b: &PersistentState) {
+        assert_eq!(a.cycle, b.cycle);
+        assert_eq!(a.emitted_cycle, b.emitted_cycle);
+        assert_eq!(a.view.len(), b.view.len());
+        for ((da, nsa), (db, nsb)) in a.view.iter().zip(&b.view) {
+            assert_eq!(da.state_digest(), db.state_digest());
+            assert_eq!(nsa, nsb);
+        }
+        assert_eq!(a.reserve.len(), b.reserve.len());
+        for (da, db) in a.reserve.iter().zip(&b.reserve) {
+            assert_eq!(da.state_digest(), db.state_digest());
+        }
+        assert_eq!(a.redemptions.len(), b.redemptions.len());
+        for ((ca, da), (cb, db)) in a.redemptions.iter().zip(&b.redemptions) {
+            assert_eq!(ca, cb);
+            assert_eq!(da.state_digest(), db.state_digest());
+        }
+        assert_eq!(a.proofs.len(), b.proofs.len());
+        for ((ca, pa), (cb, pb)) in a.proofs.iter().zip(&b.proofs) {
+            assert_eq!(ca, cb);
+            assert_eq!(pa.culprit(), pb.culprit());
+        }
+        assert_eq!(a.spent, b.spent);
+        assert_eq!(a.redeemed_regular, b.redeemed_regular);
+        assert_eq!(a.ns_redeemed, b.ns_redeemed);
+        assert_eq!(a.ns_accepted, b.ns_accepted);
+    }
+
+    #[test]
+    fn state_roundtrips_through_the_codec() {
+        let state = sample_state();
+        let bytes = encode_state(&state);
+        let back = decode_state(&bytes, PERIOD, &WireLimits::DEFAULT).unwrap();
+        assert_states_equal(&state, &back);
+    }
+
+    #[test]
+    fn empty_state_roundtrips() {
+        let state = PersistentState::default();
+        assert!(state.is_trivial());
+        let bytes = encode_state(&state);
+        let back = decode_state(&bytes, PERIOD, &WireLimits::DEFAULT).unwrap();
+        assert_states_equal(&state, &back);
+    }
+
+    #[test]
+    fn memory_backend_folds_tail_into_checkpoint() {
+        let mut be = MemoryBackend::new();
+        assert!(be.load(PERIOD, &WireLimits::DEFAULT).unwrap().is_none());
+
+        be.record_emission(5).unwrap();
+        let got = be.load(PERIOD, &WireLimits::DEFAULT).unwrap().unwrap();
+        assert_eq!(got.emitted_cycle, Some(5));
+
+        let state = sample_state();
+        be.save_checkpoint(&state).unwrap();
+        be.record_emission(43).unwrap();
+        be.record_spent(&[9u8; 32], 43).unwrap();
+        be.record_proof(&freq_proof(8), 43).unwrap();
+        // A proof against an already-known culprit is deduped on fold.
+        be.record_proof(&freq_proof(8), 44).unwrap();
+
+        let got = be.load(PERIOD, &WireLimits::DEFAULT).unwrap().unwrap();
+        assert_eq!(got.emitted_cycle, Some(43));
+        assert!(got.spent.iter().any(|(d, c)| *d == [9u8; 32] && *c == 43));
+        assert_eq!(got.proofs.len(), state.proofs.len() + 1);
+    }
+
+    #[test]
+    fn file_backend_roundtrips_checkpoint_and_tail() {
+        let dir = std::env::temp_dir().join(format!("sc-storage-rt-{}", std::process::id()));
+        let path = dir.join("node.log");
+        let _ = std::fs::remove_file(&path);
+        let state = sample_state();
+        {
+            let mut be = FileBackend::open(&path).unwrap();
+            assert!(be.load(PERIOD, &WireLimits::DEFAULT).unwrap().is_none());
+            be.save_checkpoint(&state).unwrap();
+            be.record_emission(43).unwrap();
+            be.record_spent(&[7u8; 32], 43).unwrap();
+            be.record_proof(&freq_proof(8), 43).unwrap();
+        }
+        // Fresh handle: the moral equivalent of a restart.
+        let mut be = FileBackend::open(&path).unwrap();
+        let got = be.load(PERIOD, &WireLimits::DEFAULT).unwrap().unwrap();
+        assert_eq!(got.cycle, state.cycle);
+        assert_eq!(got.emitted_cycle, Some(43));
+        assert!(got.spent.iter().any(|(d, _)| *d == [7u8; 32]));
+        assert_eq!(got.proofs.len(), state.proofs.len() + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_resurrected() {
+        let dir = std::env::temp_dir().join(format!("sc-storage-torn-{}", std::process::id()));
+        let path = dir.join("node.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut be = FileBackend::open(&path).unwrap();
+            be.save_checkpoint(&sample_state()).unwrap();
+            be.record_emission(50).unwrap();
+        }
+        // Tear the final record mid-payload (kill -9 mid-append).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut be = FileBackend::open(&path).unwrap();
+        let got = be.load(PERIOD, &WireLimits::DEFAULT).unwrap().unwrap();
+        assert_eq!(got.emitted_cycle, Some(42), "torn emit record ignored");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checksum_corruption_stops_the_fold() {
+        let dir = std::env::temp_dir().join(format!("sc-storage-sum-{}", std::process::id()));
+        let path = dir.join("node.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut be = FileBackend::open(&path).unwrap();
+            be.record_emission(5).unwrap();
+            be.record_emission(6).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload bit of the *second* record.
+        let second = bytes.len() - 1;
+        bytes[second] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut be = FileBackend::open(&path).unwrap();
+        let got = be.load(PERIOD, &WireLimits::DEFAULT).unwrap().unwrap();
+        assert_eq!(
+            got.emitted_cycle,
+            Some(5),
+            "corrupt record and tail dropped"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_rewrites_to_one_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("sc-storage-compact-{}", std::process::id()));
+        let path = dir.join("node.log");
+        let _ = std::fs::remove_file(&path);
+        let state = sample_state();
+        let mut be = FileBackend::open(&path).unwrap().with_compact_threshold(64);
+        for _ in 0..8 {
+            be.save_checkpoint(&state).unwrap();
+        }
+        let one_record = {
+            let payload = encode_state(&state);
+            (RECORD_HEADER_BYTES + payload.len()) as u64
+        };
+        assert_eq!(be.log_bytes(), one_record, "log compacted to one record");
+        let got = be.load(PERIOD, &WireLimits::DEFAULT).unwrap().unwrap();
+        assert_states_equal(&state, &got);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovered_proofs_are_revalidated() {
+        // A proof record whose evidence does not validate must not fold.
+        let dir = std::env::temp_dir().join(format!("sc-storage-proof-{}", std::process::id()));
+        let path = dir.join("node.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut be = FileBackend::open(&path).unwrap();
+            be.record_emission(1).unwrap();
+            be.record_proof(&freq_proof(3), 2).unwrap();
+        }
+        // Load with a *smaller* period: the same evidence still validates
+        // only if the two creations are within the period — dt here is 1
+        // tick, so it survives any period > 1; with period 1 it must not.
+        let mut be = FileBackend::open(&path).unwrap();
+        let got = be.load(1, &WireLimits::DEFAULT).unwrap().unwrap();
+        assert_eq!(got.emitted_cycle, Some(1), "prefix before bad proof kept");
+        assert!(got.proofs.is_empty(), "invalid proof evidence dropped");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

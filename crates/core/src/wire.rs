@@ -13,7 +13,9 @@
 //!   per-exchange estimates with this model.
 
 use crate::descriptor::{ChainLink, Genesis, LinkKind, SecureDescriptor};
-use crate::msg::{AcceptBody, RequestBody, RoundBody, RoundReplyBody, SecureMsg};
+use crate::msg::{
+    AcceptBody, JoinGrantBody, JoinPingBody, RequestBody, RoundBody, RoundReplyBody, SecureMsg,
+};
 use crate::proof::{ProofKind, ViolationProof};
 use crate::time::Timestamp;
 use sc_crypto::{PublicKey, Signature, PUBLIC_KEY_LEN, SIGNATURE_LEN};
@@ -330,6 +332,15 @@ where
         SecureMsg::Round(b) => sizer(&b.transfer),
         SecureMsg::RoundReply(b) => b.transfer.as_ref().map(sizer).unwrap_or(0),
         SecureMsg::Proof(p) => sizer(p.evidence().0) + sizer(p.evidence().1),
+        // A ping carries only the joiner's key — no descriptor payload.
+        SecureMsg::JoinPing(_) => 0,
+        SecureMsg::JoinGrant(b) => {
+            sizer(&b.descriptor)
+                + b.proofs
+                    .iter()
+                    .map(|p| sizer(p.evidence().0) + sizer(p.evidence().1))
+                    .sum::<usize>()
+        }
     }
 }
 
@@ -583,6 +594,8 @@ const MSG_ACCEPT: u8 = 2;
 const MSG_ROUND: u8 = 3;
 const MSG_ROUND_REPLY: u8 = 4;
 const MSG_PROOF: u8 = 5;
+const MSG_JOIN_PING: u8 = 6;
+const MSG_JOIN_GRANT: u8 = 7;
 
 /// Serializes a full SecureCyclon message.
 pub fn encode_message(msg: &SecureMsg, out: &mut Vec<u8>) {
@@ -618,6 +631,15 @@ pub fn encode_message(msg: &SecureMsg, out: &mut Vec<u8>) {
         SecureMsg::Proof(p) => {
             out.push(MSG_PROOF);
             encode_proof(p, out);
+        }
+        SecureMsg::JoinPing(b) => {
+            out.push(MSG_JOIN_PING);
+            out.extend_from_slice(b.joiner.as_bytes());
+        }
+        SecureMsg::JoinGrant(b) => {
+            out.push(MSG_JOIN_GRANT);
+            encode_descriptor(&b.descriptor, out);
+            encode_proofs(&b.proofs, out);
         }
     }
 }
@@ -722,6 +744,23 @@ pub fn decode_message_with(
             let (p, used) = decode_proof_with(&buf[pos..], period_ticks, limits)?;
             pos += used;
             SecureMsg::Proof(Box::new(p))
+        }
+        MSG_JOIN_PING => {
+            if buf.len() - pos < PUBLIC_KEY_LEN {
+                return Err(WireError::UnexpectedEnd);
+            }
+            let mut key = [0u8; PUBLIC_KEY_LEN];
+            key.copy_from_slice(&buf[pos..pos + PUBLIC_KEY_LEN]);
+            pos += PUBLIC_KEY_LEN;
+            let joiner = PublicKey::from_bytes(key).ok_or(WireError::BadPublicKey)?;
+            SecureMsg::JoinPing(Box::new(JoinPingBody { joiner }))
+        }
+        MSG_JOIN_GRANT => {
+            let (descriptor, used) = decode_descriptor_with(&buf[pos..], limits)?;
+            pos += used;
+            let (proofs, used) = decode_proofs(&buf[pos..], period_ticks, limits)?;
+            pos += used;
+            SecureMsg::JoinGrant(Box::new(JoinGrantBody { descriptor, proofs }))
         }
         t => return Err(WireError::BadMessageTag(t)),
     };

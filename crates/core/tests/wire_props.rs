@@ -10,8 +10,8 @@
 use proptest::prelude::*;
 use sc_core::wire::{self, WireError, WireLimits};
 use sc_core::{
-    AcceptBody, LinkKind, RequestBody, RoundBody, RoundReplyBody, SecureDescriptor, SecureMsg,
-    Timestamp, ViolationProof,
+    AcceptBody, JoinGrantBody, JoinPingBody, LinkKind, RequestBody, RoundBody, RoundReplyBody,
+    SecureDescriptor, SecureMsg, Timestamp, ViolationProof,
 };
 use sc_crypto::{Keypair, Scheme};
 
@@ -96,7 +96,7 @@ fn build_message(
             extra.get(1).copied().unwrap_or(7) % 16,
         )))
     };
-    match variant % 5 {
+    match variant % 7 {
         0 => {
             let token = descriptor(creator_tag % 16, addr, ts, &path, Some(LinkKind::Redeem));
             SecureMsg::Request(Box::new(RequestBody {
@@ -122,6 +122,16 @@ fn build_message(
         3 => SecureMsg::RoundReply(Box::new(RoundReplyBody {
             transfer: with_option.then(|| d(&path)),
         })),
+        4 => SecureMsg::JoinPing(Box::new(JoinPingBody {
+            joiner: kp(creator_tag % 16).public(),
+        })),
+        5 => SecureMsg::JoinGrant(Box::new(JoinGrantBody {
+            descriptor: d(&path),
+            proofs: match proof {
+                SecureMsg::Proof(p) => vec![*p],
+                _ => unreachable!(),
+            },
+        })),
         _ => proof,
     }
 }
@@ -137,7 +147,7 @@ proptest! {
 
     #[test]
     fn roundtrip_is_identity_for_all_variants(
-        variant in 0u8..5,
+        variant in 0u8..7,
         creator_tag in 0u8..16,
         addr in proptest::any::<u32>(),
         ts in 0u64..1_000_000,
@@ -159,7 +169,7 @@ proptest! {
 
     #[test]
     fn truncation_always_errors_never_panics(
-        variant in 0u8..5,
+        variant in 0u8..7,
         creator_tag in 0u8..16,
         ts in 0u64..1_000_000,
         path in proptest::collection::vec(0u8..16, 0..5),
@@ -184,7 +194,7 @@ proptest! {
 
     #[test]
     fn bit_flips_never_panic_and_successes_reencode_identically(
-        variant in 0u8..5,
+        variant in 0u8..7,
         creator_tag in 0u8..16,
         ts in 0u64..1_000_000,
         path in proptest::collection::vec(0u8..16, 0..5),

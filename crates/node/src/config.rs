@@ -9,6 +9,7 @@ use sc_core::wire::WireLimits;
 use sc_core::SecureConfig;
 use sc_crypto::{Keypair, Scheme};
 use sc_sim::Addr;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Everything an `sc-node` process needs to run.
@@ -55,6 +56,11 @@ pub struct NodeConfig {
     pub connect_timeout: Duration,
     /// How long an in-turn RPC waits for its reply.
     pub rpc_timeout: Duration,
+    /// Durable-state directory. When set, the daemon appends its
+    /// incriminating-if-lost state to `<dir>/sc-node-<addr>.log` and
+    /// recovers from it on boot, so a `kill -9` mid-cycle cannot make a
+    /// restarted honest node accuse itself (`None` = in-memory only).
+    pub state_dir: Option<PathBuf>,
 }
 
 impl NodeConfig {
@@ -79,6 +85,7 @@ impl NodeConfig {
             max_frame_bytes: super::frame::DEFAULT_MAX_FRAME_BYTES,
             connect_timeout: Duration::from_millis(250),
             rpc_timeout: Duration::from_millis(40),
+            state_dir: None,
         }
     }
 
@@ -165,6 +172,7 @@ impl NodeConfig {
                         "--rpc-timeout-ms",
                     )?);
                 }
+                "--state-dir" => cfg.state_dir = Some(PathBuf::from(val("--state-dir")?)),
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -217,6 +225,19 @@ mod tests {
         assert_eq!(cfg.secure.view_len, 8);
         assert_eq!(cfg.scheme, Scheme::KeyedHash);
         assert!(cfg.sponsor.is_none());
+        assert!(cfg.state_dir.is_none());
+    }
+
+    #[test]
+    fn parses_a_state_dir() {
+        let cfg = NodeConfig::parse(&args(
+            "--addr 41000 --state-dir /tmp/sc-state --scheme keyed",
+        ))
+        .unwrap();
+        assert_eq!(
+            cfg.state_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/sc-state"))
+        );
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub struct StatusReport {
     pub reserve: Vec<SecureDescriptor>,
     /// Blacklisted culprits.
     pub blacklist: Vec<PublicKey>,
+    /// Redemption-cache entry count (for the cache-bound oracle).
+    pub redemptions: usize,
     /// Protocol counters.
     pub stats: SecureStats,
     /// Transport counters.
@@ -92,8 +94,10 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// The [`SecureStats`] counters in wire order.
-fn stats_to_array(s: &SecureStats) -> [u64; 22] {
+/// The [`SecureStats`] counters in wire order. New counters append at
+/// the end so older readers (which index with a default of 0) keep
+/// decoding newer reports.
+fn stats_to_array(s: &SecureStats) -> [u64; 23] {
     [
         s.initiated,
         s.completed,
@@ -116,7 +120,8 @@ fn stats_to_array(s: &SecureStats) -> [u64; 22] {
         s.ns_redemptions_accepted,
         s.bytes_sent,
         s.bytes_received,
-        0,
+        s.rejoin_pings,
+        s.rejoin_grants,
     ]
 }
 
@@ -144,6 +149,8 @@ fn stats_from_array(a: &[u64]) -> SecureStats {
         ns_redemptions_accepted: g(18),
         bytes_sent: g(19),
         bytes_received: g(20),
+        rejoin_pings: g(21),
+        rejoin_grants: g(22),
     }
 }
 
@@ -187,6 +194,8 @@ impl StatusReport {
         for id in &self.blacklist {
             out.extend_from_slice(id.as_bytes());
         }
+        // Trailing extension (older decoders treat it as optional).
+        put_u16(&mut out, self.redemptions);
         out
     }
 
@@ -254,6 +263,8 @@ impl StatusReport {
         for _ in 0..n_bl {
             blacklist.push(c.key()?);
         }
+        // Optional trailing extension from newer daemons.
+        let redemptions = c.u16().unwrap_or(0);
         Ok(StatusReport {
             addr,
             id,
@@ -263,6 +274,7 @@ impl StatusReport {
             view,
             reserve,
             blacklist,
+            redemptions,
             stats,
             transport,
         })
@@ -407,6 +419,7 @@ mod tests {
             view: vec![(owned.clone(), true), (owned.clone(), false)],
             reserve: vec![owned],
             blacklist: vec![peer.public()],
+            redemptions: 5,
             stats: SecureStats {
                 initiated: 230,
                 completed: 200,
@@ -431,6 +444,7 @@ mod tests {
         assert_eq!(back.view[0].0, report.view[0].0);
         assert_eq!(back.reserve.len(), 1);
         assert_eq!(back.blacklist, vec![peer.public()]);
+        assert_eq!(back.redemptions, 5);
         assert_eq!(back.stats, report.stats);
         assert_eq!(back.transport, report.transport);
     }
@@ -447,12 +461,18 @@ mod tests {
             view: vec![],
             reserve: vec![],
             blacklist: vec![],
+            redemptions: 0,
             stats: SecureStats::default(),
             transport: TransportStats::default(),
         };
         let bytes = report.encode();
-        for cut in [0, 10, bytes.len() - 1] {
+        // The last 2 bytes are the optional redemptions extension; cuts
+        // inside the required prefix must error.
+        for cut in [0, 10, bytes.len() - 3] {
             assert!(StatusReport::decode(&bytes[..cut], &WireLimits::DEFAULT).is_err());
         }
+        // A torn optional tail still decodes (as an older daemon's report).
+        let old = StatusReport::decode(&bytes[..bytes.len() - 2], &WireLimits::DEFAULT).unwrap();
+        assert_eq!(old.redemptions, 0);
     }
 }

@@ -61,12 +61,6 @@ pub struct Daemon {
     /// would be a second creation within one period, i.e. the sponsor
     /// would hand out a provable frequency violation against itself.
     pending_joins: VecDeque<(ConnId, PublicKey)>,
-    /// Outbound gossip volume under the paper's §VI-A size model
-    /// ([`wire::message_paper_bytes`]) — what the protocol *says* it
-    /// costs, as opposed to the transport's framed TCP byte counters.
-    paper_out: u64,
-    /// Inbound gossip volume under the same model.
-    paper_in: u64,
     next_req_id: u32,
     deferred: VecDeque<Inbound>,
     cycles_run: u64,
@@ -91,15 +85,35 @@ impl Daemon {
     ///
     /// # Errors
     ///
-    /// Propagates socket bind failures.
+    /// Propagates socket bind failures and `--state-dir` I/O failures.
     pub fn new(cfg: NodeConfig) -> std::io::Result<Daemon> {
-        let node = SecureCyclonNode::new(
-            cfg.keypair(),
-            cfg.addr,
-            cfg.secure,
-            cfg.rng_seed(),
-            cfg.phase(),
-        );
+        let node = match &cfg.state_dir {
+            Some(dir) => {
+                let path = dir.join(format!("sc-node-{}.log", cfg.addr));
+                let backend = Box::new(sc_core::FileBackend::open(path)?);
+                SecureCyclonNode::with_backend(
+                    cfg.keypair(),
+                    cfg.addr,
+                    cfg.secure,
+                    cfg.rng_seed(),
+                    cfg.phase(),
+                    backend,
+                )?
+            }
+            None => SecureCyclonNode::new(
+                cfg.keypair(),
+                cfg.addr,
+                cfg.secure,
+                cfg.rng_seed(),
+                cfg.phase(),
+            ),
+        };
+        // Anything recovered from the durable log means a previous life
+        // already ran: re-installing the ring slice would re-insert
+        // descriptors that may have been signed away since — self-made
+        // cloning evidence. The frequency half of the same guard is the
+        // recovered emission marker (`last_emission`).
+        let recovered = !node.view().is_empty() || node.last_emission().is_some();
         let transport = TcpTransport::bind(cfg.addr, cfg.connect_timeout, cfg.max_frame_bytes)?;
         let start_cycle = cfg.secure.view_len as u64;
         let epoch_ms = if cfg.epoch_millis == 0 {
@@ -116,15 +130,18 @@ impl Daemon {
             last_fired: None,
             last_join_attempt: None,
             pending_joins: VecDeque::new(),
-            paper_out: 0,
-            paper_in: 0,
             next_req_id: 1,
             deferred: VecDeque::new(),
             cycles_run: 0,
             shutdown: false,
             cfg,
         };
-        if daemon.cfg.sponsor.is_none() {
+        if recovered {
+            daemon.joined = !daemon.node.view().is_empty();
+            // Founding members recompute start_cycle the same way the
+            // ring plan does, so cycle numbers stay stable across lives.
+            daemon.last_fired = daemon.node.last_emission();
+        } else if daemon.cfg.sponsor.is_none() {
             daemon.install_ring_slice();
         }
         Ok(daemon)
@@ -236,8 +253,6 @@ impl Daemon {
         let mut io = TurnIo {
             transport: &mut self.transport,
             deferred: &mut self.deferred,
-            paper_out: &mut self.paper_out,
-            paper_in: &mut self.paper_in,
             next_req_id: &mut self.next_req_id,
             self_addr: self.cfg.addr,
             cycle,
@@ -299,7 +314,6 @@ impl Daemon {
                 else {
                     return;
                 };
-                self.paper_in += wire::message_paper_bytes(&msg) as u64;
                 let from = ib.frame.from;
                 let reply = if self.joined {
                     let (reply, floods) = with_node_ctx(cycle, period, self.cfg.addr, |ctx| {
@@ -312,14 +326,11 @@ impl Daemon {
                 };
                 // An explicit empty reply lets the initiator observe
                 // "no answer" without waiting out its RPC timeout.
-                let mut paper = 0u64;
                 let payload = reply.map_or_else(Vec::new, |m| {
-                    paper = wire::message_paper_bytes(&m) as u64;
                     let mut out = Vec::new();
                     wire::encode_message(&m, &mut out);
                     out
                 });
-                self.paper_out += paper;
                 let mut f = Frame::new(FrameKind::Reply, self.cfg.addr, payload);
                 f.req_id = ib.frame.req_id;
                 self.transport.respond(ib.conn, &f);
@@ -330,7 +341,6 @@ impl Daemon {
                 else {
                     return;
                 };
-                self.paper_in += wire::message_paper_bytes(&msg) as u64;
                 let ((), floods) = with_node_ctx(cycle, period, self.cfg.addr, |ctx| {
                     self.node.on_oneway_any(ib.frame.from, msg, ctx)
                 });
@@ -389,7 +399,6 @@ impl Daemon {
     /// Sends queued proof floods as one-way frames.
     fn flood(&mut self, msgs: Vec<(Addr, SecureMsg)>) {
         for (to, msg) in msgs {
-            self.paper_out += wire::message_paper_bytes(&msg) as u64;
             let mut payload = Vec::new();
             wire::encode_message(&msg, &mut payload);
             let f = Frame::new(FrameKind::Oneway, self.cfg.addr, payload);
@@ -413,18 +422,17 @@ impl Daemon {
                 .collect(),
             reserve: self.node.reserve().cloned().collect(),
             blacklist: self.node.blacklist().culprits().copied().collect(),
+            redemptions: self.node.redemption_count(),
             stats: self.stats(),
             transport: self.transport.stats(),
         }
     }
 
-    /// Protocol counters with the daemon-tracked paper-model byte
-    /// accounting folded in (the core fields exist for exactly this).
+    /// Protocol counters. §VI-A byte accounting now lives in the node
+    /// itself ([`sc_core::SecureStats::bytes_sent`]), metered at every
+    /// message site, so daemon and simulator report identically.
     fn stats(&self) -> sc_core::SecureStats {
-        let mut stats = self.node.stats();
-        stats.bytes_sent = self.paper_out;
-        stats.bytes_received = self.paper_in;
-        stats
+        self.node.stats()
     }
 }
 
@@ -462,8 +470,6 @@ fn decode_join_grant(
 struct TurnIo<'a> {
     transport: &'a mut TcpTransport,
     deferred: &'a mut VecDeque<Inbound>,
-    paper_out: &'a mut u64,
-    paper_in: &'a mut u64,
     next_req_id: &'a mut u32,
     self_addr: Addr,
     cycle: u64,
@@ -489,7 +495,6 @@ impl TurnDriver<SecureMsg> for TurnIo<'_> {
     fn rpc(&mut self, to: Addr, msg: SecureMsg) -> RpcOutcome<SecureMsg> {
         let req_id = *self.next_req_id;
         *self.next_req_id = self.next_req_id.wrapping_add(1).max(1);
-        *self.paper_out += wire::message_paper_bytes(&msg) as u64;
         let mut payload = Vec::new();
         wire::encode_message(&msg, &mut payload);
         let mut f = Frame::new(FrameKind::Request, self.self_addr, payload);
@@ -518,10 +523,7 @@ impl TurnDriver<SecureMsg> for TurnIo<'_> {
                     self.tpc,
                     &self.cfg.wire_limits,
                 ) {
-                    Ok(m) => {
-                        *self.paper_in += wire::message_paper_bytes(&m) as u64;
-                        RpcOutcome::Reply(m)
-                    }
+                    Ok(m) => RpcOutcome::Reply(m),
                     Err(_) => RpcOutcome::Timeout,
                 };
             }
@@ -530,7 +532,6 @@ impl TurnDriver<SecureMsg> for TurnIo<'_> {
     }
 
     fn send(&mut self, to: Addr, msg: SecureMsg) {
-        *self.paper_out += wire::message_paper_bytes(&msg) as u64;
         let mut payload = Vec::new();
         wire::encode_message(&msg, &mut payload);
         let f = Frame::new(FrameKind::Oneway, self.self_addr, payload);

@@ -86,4 +86,10 @@ Protocol:
   --swap-len <n>         gossip length g (default 3)
   --scheme keyed|schnorr signature scheme (default schnorr)
   --max-frame-bytes <n>  frame payload cap (default 1 MiB)
+
+Durability:
+  --state-dir <dir>      append durable state to <dir>/sc-node-<addr>.log
+                         and recover from it on boot; a kill -9'd daemon
+                         restarted here cannot self-incriminate
+                         (default: in-memory only)
 ";

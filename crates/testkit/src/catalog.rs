@@ -1,11 +1,13 @@
 //! The standard scenario matrix.
 //!
-//! Twelve scenarios × three seeds = 36 deterministic combinations,
+//! Fourteen scenarios × three seeds = 42 deterministic combinations,
 //! covering the paper's adversity axes: message loss (uniform and
-//! asymmetric), partitions with heal, churn, catastrophic failure, every
-//! `sc-attacks` strategy, and compositions thereof. `quick` mode shrinks
-//! populations and horizons for CI while keeping every scenario and every
-//! oracle in play.
+//! asymmetric), partitions with heal, churn, catastrophic failure,
+//! crash-restarts from durable state, every `sc-attacks` strategy, and
+//! compositions thereof. Every scenario additionally carries the
+//! redemption-cache bound and §VI-A byte-budget oracles. `quick` mode
+//! shrinks populations and horizons for CI while keeping every scenario
+//! and every oracle in play.
 
 use crate::scenario::{AdversaryKind, OracleConfig, Scenario};
 use sc_core::SecureConfig;
@@ -78,6 +80,20 @@ impl MatrixSize {
     }
 }
 
+/// §VI-A per-node-per-cycle traffic ceiling, in paper bytes, for the
+/// byte-budget oracle. Measured across the quick tier (ℓ = 8): the
+/// busiest node of the hottest scenario (partition-cloning, which
+/// combines proof floods with post-heal catch-up) averages ≈12 KiB per
+/// cycle, under half this ceiling — enough headroom for seed variance,
+/// tight enough to catch a quadratic-traffic regression immediately
+/// (the runner's headroom test pins the measurement). Scaled by ℓ
+/// because both the per-exchange payload (ownership chains grow to the
+/// descriptor lifetime ≈ ℓ) and the proof-flood fanout (one flood per
+/// neighbor) grow linearly with the view length.
+pub(crate) fn byte_budget(size: MatrixSize) -> u64 {
+    4 * 1024 * size.view_len as u64
+}
+
 /// Oracles for honest-only scenarios: everything that is unconditionally
 /// sound, including global unique ownership.
 fn honest_oracles(size: MatrixSize, min_fill: Option<f64>) -> OracleConfig {
@@ -140,6 +156,29 @@ pub fn standard_matrix(size: MatrixSize) -> Vec<Scenario> {
             .config(cfg)
             .partition_at(mid, 1.0 / 3.0)
             .heal_at(heal)
+            // A third of the network keeps gossiping internally, never
+            // starves, and so never sends rejoin pings — reconnection
+            // needs the harness's bootstrap-server stand-in.
+            .heal_fallback()
+            .oracles(honest_oracles(size, Some(0.5))),
+        Scenario::new("honest-island-rejoin", n)
+            .cycles(cycles)
+            .config(cfg)
+            // A lone node severed from everyone: its links all die, it
+            // drains to starvation, and after the heal it must re-enter
+            // through the protocol's own §V-A rejoin pings — no harness
+            // re-sponsorship (the fallback stays off).
+            .partition_at(cycles / 4, 1.2 / n as f64)
+            .heal_at(cycles / 2)
+            .oracles(honest_oracles(size, Some(0.5))),
+        Scenario::new("honest-crash-restart", n)
+            .cycles(cycles)
+            .config(cfg)
+            // Two kill -9 + recover-from-backend waves. Unique ownership
+            // stays on: recovery must never resurrect a descriptor whose
+            // ownership left in a previous life.
+            .restart_at(mid, 0.25)
+            .restart_at(heal, 0.25)
             .oracles(honest_oracles(size, Some(0.5))),
         Scenario::new("honest-churn", n)
             .cycles(cycles)
@@ -191,6 +230,7 @@ pub fn standard_matrix(size: MatrixSize) -> Vec<Scenario> {
             .adversary(byz, AdversaryKind::Cloner { target_age: 3 }, attack_start)
             .partition_at(mid, 0.25)
             .heal_at(heal)
+            .heal_fallback()
             .oracles(attack_oracles(size, 0.1)),
         Scenario::new("lossy-churn-hub", n)
             .cycles(cycles)
@@ -205,6 +245,17 @@ pub fn standard_matrix(size: MatrixSize) -> Vec<Scenario> {
                 ..attack_oracles(size, 0.7)
             }),
     ]
+    .into_iter()
+    .map(|mut sc| {
+        // Every scenario — honest or adversarial — carries the two
+        // resource oracles: the §V-C redemption cache stays within its
+        // configured entry cap, and per-node traffic stays within the
+        // §VI-A budget.
+        sc.oracles.redemption_bound = Some(sc.cfg.redemption_cache_max_entries);
+        sc.oracles.byte_budget_per_cycle = Some(byte_budget(size));
+        sc
+    })
+    .collect()
 }
 
 #[cfg(test)]
@@ -253,5 +304,16 @@ mod tests {
         assert!(scenarios
             .iter()
             .any(|s| s.n_malicious > 0 && (s.has_partition() || s.churn.is_some())));
+        // Durable-state coverage: crash-restarts, and a partition healed
+        // purely by the protocol's rejoin pings (no harness fallback).
+        assert!(scenarios.iter().any(|s| s.has_restart() && s.durable));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.has_partition() && !s.runner_heal_fallback));
+        // The resource oracles ride along on every scenario.
+        assert!(scenarios
+            .iter()
+            .all(|s| s.oracles.redemption_bound.is_some()
+                && s.oracles.byte_budget_per_cycle.is_some()));
     }
 }

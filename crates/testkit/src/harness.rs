@@ -46,6 +46,10 @@ pub struct ClusterConfig {
     /// How far in the future the shared epoch starts (start-up slack for
     /// process spawning).
     pub start_delay_ms: u64,
+    /// Durable-state directory passed to every member as `--state-dir`.
+    /// Required for [`ProcessCluster::restart`]: a killed member's
+    /// replacement recovers from `<dir>/sc-node-<addr>.log`.
+    pub state_dir: Option<PathBuf>,
 }
 
 impl ClusterConfig {
@@ -62,7 +66,14 @@ impl ClusterConfig {
             rpc_timeout_ms: 40,
             stop_cycle: 0,
             start_delay_ms: 800,
+            state_dir: None,
         }
+    }
+
+    /// Runs every member with durable state under `dir`.
+    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> ClusterConfig {
+        self.state_dir = Some(dir.into());
+        self
     }
 }
 
@@ -152,6 +163,9 @@ impl ProcessCluster {
         if c.stop_cycle > 0 {
             cmd.args(["--stop-cycle", &c.stop_cycle.to_string()]);
         }
+        if let Some(dir) = &c.state_dir {
+            cmd.arg("--state-dir").arg(dir);
+        }
         match sponsor {
             Some(s) => {
                 cmd.args(["--sponsor", &s.to_string()]);
@@ -226,6 +240,34 @@ impl ProcessCluster {
         let _ = child.kill();
         let _ = child.wait();
         true
+    }
+
+    /// `kill -9`s one member and respawns it on the same address with the
+    /// same identity index. With a [`ClusterConfig::state_dir`] the
+    /// replacement recovers its view, blacklist, and emission marker from
+    /// the survived log; without one it comes back amnesiac (which is
+    /// exactly the self-incrimination bug the durable backends fix).
+    ///
+    /// # Errors
+    ///
+    /// Spawn failure, or the port not freeing up after the kill.
+    pub fn restart(&mut self, addr: Addr) -> std::io::Result<bool> {
+        if !self.kill(addr) {
+            return Ok(false);
+        }
+        // The dead process's listener can linger briefly; wait for the
+        // kernel to release the port before respawning on it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !port_free(addr) {
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::other("port still bound after kill"));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let index = (addr - self.base_addr) as usize;
+        let child = self.spawn(addr, index, None)?;
+        self.members.insert(addr, child);
+        Ok(true)
     }
 
     /// Spawns a joiner that bootstraps through `sponsor`'s §V-A handshake.

@@ -23,9 +23,12 @@
 //!   scrapes, so real processes are held to the same invariants.
 //! * [`harness`] — spawns, scrapes, churns, and stops fleets of real
 //!   `sc-node` processes on 127.0.0.1 for the loopback test tier.
-//! * [`runner`] — deterministic execution of a `(Scenario, seed)` pair.
-//! * [`catalog`] — the standard ~36-combination scenario matrix swept by
-//!   `tests/scenario_matrix.rs`, with a `quick` sizing for CI.
+//! * [`runner`] — deterministic execution of a `(Scenario, seed)` pair,
+//!   including `kill -9`-style crash-restarts of durably backed nodes.
+//! * [`catalog`] — the standard 42-combination scenario matrix swept by
+//!   `tests/scenario_matrix.rs`, with a `quick` sizing for CI. Every
+//!   scenario carries the redemption-cache bound and §VI-A byte-budget
+//!   oracles.
 //!
 //! # Example
 //!

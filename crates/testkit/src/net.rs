@@ -10,10 +10,12 @@
 
 use rand::seq::SliceRandom;
 use sc_attacks::{MaliciousSecureNode, SecureAttack, SecureParty};
-use sc_core::{default_phase, ring_bootstrap, SecureConfig, SecureCyclonNode, SecureMsg};
+use sc_core::{
+    default_phase, ring_bootstrap, MemoryBackend, SecureConfig, SecureCyclonNode, SecureMsg,
+};
 use sc_crypto::{Keypair, NodeId, Scheme};
 use sc_sim::{Addr, CycleCtx, Engine, Execution, NetworkModel, NodeCtx, SimConfig, SimNode};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 /// A node in a mixed SecureCyclon network.
@@ -96,6 +98,9 @@ pub struct SecureNetParams {
     /// network hosts malicious nodes — they mutate the shared party
     /// ledger outside the engine's striping contract.
     pub execution: Execution,
+    /// Attach an in-memory durable [`sc_core::StateBackend`] to every
+    /// honest node, enabling [`SecureNetwork::crash_restart`].
+    pub durable: bool,
 }
 
 impl SecureNetParams {
@@ -111,6 +116,7 @@ impl SecureNetParams {
             scheme: Scheme::KeyedHash,
             net: NetworkModel::reliable(),
             execution: Execution::Sequential,
+            durable: false,
         }
     }
 }
@@ -134,6 +140,15 @@ pub struct SecureNetwork {
     pub seed: u64,
     /// Number of joiners spawned so far (joiner key derivation counter).
     joiners: u64,
+    /// Whether honest nodes carry durable backends.
+    durable: bool,
+    /// Keypair and timestamp phase of every honest node, kept so a
+    /// crash-restart can rebuild the same identity around the survived
+    /// backend.
+    honest_keys: HashMap<Addr, (Keypair, u64)>,
+    /// Crash-restarts performed so far (replacement-RNG derivation
+    /// counter).
+    restarts: u64,
 }
 
 impl SecureNetwork {
@@ -163,12 +178,14 @@ impl SecureNetwork {
         self.joiners += 1;
         let phase = default_phase(self.joiners as usize, self.cfg.ticks_per_cycle);
         let cfg = self.cfg;
+        let durable = self.durable;
         let addr = self.engine.spawn_with(|addr| {
-            let mut node = SecureCyclonNode::new(keypair, addr, cfg, rng_seed, phase);
+            let mut node = new_honest_node(keypair.clone(), addr, cfg, rng_seed, phase, durable);
             node.accept_bootstrap(desc);
             node.import_proofs(proofs, cycle);
             SecureNet::Honest(Box::new(node))
         });
+        self.honest_keys.insert(addr, (keypair, phase));
         Some(addr)
     }
 
@@ -212,6 +229,62 @@ impl SecureNetwork {
         };
         target.accept_sponsorship(desc, cycle)
     }
+
+    /// `kill -9` + restart in one engine instant: discards `addr`'s
+    /// in-memory state and rebuilds the node around its survived durable
+    /// backend, exactly like a daemon restarted with `--state-dir`. The
+    /// replacement keeps the identity and phase but draws fresh protocol
+    /// randomness (a rebooted process has a new RNG). Returns `false`
+    /// when the address is not an alive honest node with a backend.
+    pub fn crash_restart(&mut self, addr: Addr) -> bool {
+        let Some((keypair, phase)) = self.honest_keys.get(&addr).cloned() else {
+            return false;
+        };
+        let backend = match self.engine.node_mut(addr) {
+            Some(SecureNet::Honest(node)) => match node.take_backend() {
+                Some(b) => b,
+                None => return false,
+            },
+            _ => return false,
+        };
+        let rng_seed = sc_sim::rng::derive_seed(self.seed, "restart", self.restarts);
+        self.restarts += 1;
+        let reborn =
+            SecureCyclonNode::with_backend(keypair, addr, self.cfg, rng_seed, phase, backend)
+                .expect("in-memory backends cannot fail to load");
+        let Some(slot) = self.engine.node_mut(addr) else {
+            return false;
+        };
+        *slot = SecureNet::Honest(Box::new(reborn));
+        true
+    }
+}
+
+/// Builds one honest node, durably backed when asked. The simulated tier
+/// uses in-memory backends: same code paths as the daemon's log files
+/// (synchronous emission/spent/proof records, checkpoint recovery),
+/// without touching disk from inside a deterministic run.
+fn new_honest_node(
+    keypair: Keypair,
+    addr: Addr,
+    cfg: SecureConfig,
+    rng_seed: [u8; 32],
+    phase: u64,
+    durable: bool,
+) -> SecureCyclonNode {
+    if durable {
+        SecureCyclonNode::with_backend(
+            keypair,
+            addr,
+            cfg,
+            rng_seed,
+            phase,
+            Box::new(MemoryBackend::new()),
+        )
+        .expect("in-memory backends cannot fail to load")
+    } else {
+        SecureCyclonNode::new(keypair, addr, cfg, rng_seed, phase)
+    }
 }
 
 /// Builds a bootstrapped mixed network: `n` nodes, of which a random
@@ -228,6 +301,7 @@ pub fn build_secure_network(params: SecureNetParams) -> SecureNetwork {
         scheme,
         net,
         execution,
+        durable,
     } = params;
     let cfg = cfg.validated();
     assert!(n_malicious < n, "need at least one honest node");
@@ -271,6 +345,7 @@ pub fn build_secure_network(params: SecureNetParams) -> SecureNetwork {
 
     let mut malicious_ids = HashSet::new();
     let mut malicious_addrs = HashSet::new();
+    let mut honest_keys = HashMap::new();
     for (i, descs) in plan.per_node.into_iter().enumerate() {
         let rng_seed = sc_sim::rng::derive_seed(seed, "node", i as u64);
         if malicious_set.contains(&i) {
@@ -294,11 +369,18 @@ pub fn build_secure_network(params: SecureNetParams) -> SecureNetwork {
             }
             engine.spawn_with(|_| SecureNet::Malicious(Box::new(node)));
         } else {
-            let mut node =
-                SecureCyclonNode::new(keypairs[i].clone(), i as Addr, cfg, rng_seed, phases[i]);
+            let mut node = new_honest_node(
+                keypairs[i].clone(),
+                i as Addr,
+                cfg,
+                rng_seed,
+                phases[i],
+                durable,
+            );
             for d in descs {
                 node.accept_bootstrap(d);
             }
+            honest_keys.insert(i as Addr, (keypairs[i].clone(), phases[i]));
             engine.spawn_with(|_| SecureNet::Honest(Box::new(node)));
         }
     }
@@ -312,6 +394,9 @@ pub fn build_secure_network(params: SecureNetParams) -> SecureNetwork {
         scheme,
         seed,
         joiners: 0,
+        durable,
+        honest_keys,
+        restarts: 0,
     }
 }
 
@@ -420,4 +505,58 @@ pub fn proofs_generated(engine: &Engine<SecureNet>) -> (u64, u64) {
         frequency += h.stats().proofs_generated_frequency;
     }
     (cloning, frequency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn durable_params(n: usize) -> SecureNetParams {
+        let mut p = SecureNetParams::new(n, 0, SecureAttack::None);
+        p.cfg = p.cfg.with_view_len(6).with_swap_len(3);
+        p.seed = 5;
+        p.durable = true;
+        p
+    }
+
+    #[test]
+    fn crash_restart_preserves_identity_and_durable_state() {
+        let mut net = build_secure_network(durable_params(24));
+        for _ in 0..10 {
+            net.engine.run_cycle();
+        }
+        let (id, view_len, emitted) = {
+            let h = net.engine.node(3).unwrap().honest().unwrap();
+            (h.id(), h.view().len(), h.last_emission())
+        };
+        assert!(view_len > 0, "node is connected before the crash");
+        assert!(emitted.is_some(), "node has spent an emission budget");
+
+        assert!(net.crash_restart(3), "honest durable node restarts");
+        let h = net.engine.node(3).unwrap().honest().unwrap();
+        assert_eq!(h.id(), id, "identity survives the restart");
+        assert_eq!(h.last_emission(), emitted, "emission marker recovered");
+        assert!(!h.view().is_empty(), "view recovered from the checkpoint");
+        assert_eq!(h.stats().initiated, 0, "counters start a fresh life");
+
+        // The reborn node keeps gossiping legally.
+        for _ in 0..5 {
+            net.engine.run_cycle();
+        }
+        assert_eq!(
+            proofs_generated(&net.engine),
+            (0, 0),
+            "no self-incrimination"
+        );
+    }
+
+    #[test]
+    fn crash_restart_requires_a_backend() {
+        let mut p = durable_params(24);
+        p.durable = false;
+        let mut plain = build_secure_network(p);
+        plain.engine.run_cycle();
+        assert!(!plain.crash_restart(3), "no backend, nothing to restart");
+        assert!(!plain.crash_restart(9999), "unknown address");
+    }
 }

@@ -152,6 +152,12 @@ impl OracleSuite {
                 self.check_indegree(snap, cycle, bound)?;
             }
         }
+        if let Some(bound) = self.cfg.redemption_bound {
+            self.check_redemption_bound(snap, cycle, bound)?;
+        }
+        if let Some(ceiling) = self.cfg.byte_budget_per_cycle {
+            self.check_byte_budget(snap, cycle, ceiling)?;
+        }
         Ok(())
     }
 
@@ -290,6 +296,61 @@ impl OracleSuite {
                     cycle,
                     "indegree-bounded",
                     format!("honest in-degree {max} exceeds bound {bound}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The §V-C redemption cache is bounded by entry count, not just by
+    /// age: under churn a single retention window can see arbitrarily
+    /// many redemptions, and an unbounded cache is a memory-exhaustion
+    /// vector on long-lived daemons.
+    fn check_redemption_bound(
+        &self,
+        snap: &NetSnapshot,
+        cycle: u64,
+        bound: usize,
+    ) -> Result<(), Violation> {
+        for node in &snap.nodes {
+            if node.redemptions > bound {
+                return Err(self.violation(
+                    cycle,
+                    "redemption-bound",
+                    format!(
+                        "node {}: redemption cache holds {} > cap {bound}",
+                        node.addr, node.redemptions
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// §VI-A traffic stays within the paper's per-node-per-cycle budget.
+    /// Checked cumulatively (`ceiling × cycles elapsed`) so a burst in
+    /// one cycle — proof flooding after a detection, say — must be paid
+    /// back by quiet cycles, and so the check stays sound across
+    /// crash-restarts, which reset a node's counters to zero.
+    fn check_byte_budget(
+        &self,
+        snap: &NetSnapshot,
+        cycle: u64,
+        ceiling: u64,
+    ) -> Result<(), Violation> {
+        let budget = ceiling.saturating_mul(cycle + 1);
+        for node in &snap.nodes {
+            let (sent, received) = (node.stats.bytes_sent, node.stats.bytes_received);
+            if sent > budget || received > budget {
+                return Err(self.violation(
+                    cycle,
+                    "byte-budget",
+                    format!(
+                        "node {}: {sent} bytes sent / {received} received exceed \
+                         {ceiling} B/cycle × {} cycles = {budget}",
+                        node.addr,
+                        cycle + 1
+                    ),
                 ));
             }
         }
@@ -456,6 +517,34 @@ mod tests {
         mk().check_final(&net).unwrap();
         mk().check_snapshot_final(&snap).unwrap();
         assert_eq!(largest_honest_component(&net), largest_component(&snap));
+    }
+
+    #[test]
+    fn redemption_and_byte_budget_oracles_trip_on_forged_snapshots() {
+        let mut net = build_secure_network(small_params(12));
+        for _ in 0..4 {
+            net.engine.run_cycle();
+        }
+        let cfg = OracleConfig {
+            redemption_bound: Some(64),
+            byte_budget_per_cycle: Some(1 << 20),
+            ..OracleConfig::default()
+        };
+        let mk = || OracleSuite::with_replay("budget", 2, cfg, 8, "cmd".into());
+        let clean = NetSnapshot::from_network(&net);
+        mk().check_snapshot(&clean, 0)
+            .expect("healthy run is within both budgets");
+
+        let mut over_cache = clean.clone();
+        over_cache.nodes[0].redemptions = 65;
+        let v = mk().check_snapshot(&over_cache, 0).unwrap_err();
+        assert_eq!(v.oracle, "redemption-bound");
+
+        let mut over_wire = clean.clone();
+        over_wire.nodes[0].stats.bytes_received = (1 << 20) * (over_wire.cycle + 1) + 1;
+        let v = mk().check_snapshot(&over_wire, 0).unwrap_err();
+        assert_eq!(v.oracle, "byte-budget");
+        assert!(v.to_string().contains("received"));
     }
 
     #[test]

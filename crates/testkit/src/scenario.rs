@@ -94,6 +94,17 @@ pub enum Event {
         /// Fraction of alive nodes crashed.
         frac: f64,
     },
+    /// `kill -9` + same-cycle restart for a random batch of honest
+    /// durable nodes: each victim's in-memory state is discarded and a
+    /// replacement node recovers from the survived [`StateBackend`].
+    /// Requires [`Scenario::durable`]; nodes without a backend are
+    /// skipped (there is nothing to restart from).
+    Restart {
+        /// Step at which the crash-restarts strike.
+        step: u64,
+        /// Fraction of alive honest nodes crash-restarted.
+        frac: f64,
+    },
 }
 
 impl Event {
@@ -103,7 +114,8 @@ impl Event {
             Event::Partition { step, .. }
             | Event::Heal { step }
             | Event::SetLoss { step, .. }
-            | Event::Kill { step, .. } => *step,
+            | Event::Kill { step, .. }
+            | Event::Restart { step, .. } => *step,
         }
     }
 }
@@ -159,6 +171,15 @@ pub struct OracleConfig {
     /// End-of-run: the adversary was caught — at least one violation
     /// proven, and average blacklist coverage ≥ this fraction.
     pub expect_detection: Option<f64>,
+    /// Per-cycle: no honest redemption cache holds more than this many
+    /// entries (the §V-C cache is bounded by construction; `None`
+    /// disables).
+    pub redemption_bound: Option<usize>,
+    /// Per-cycle: every honest node's cumulative gossip traffic (paper
+    /// bytes sent, and received, §VI-A) stays within `ceiling × cycles
+    /// alive`. Checked cumulatively so it is sound across crash-restarts
+    /// (a reborn node restarts its counters at zero). `None` disables.
+    pub byte_budget_per_cycle: Option<u64>,
 }
 
 impl Default for OracleConfig {
@@ -173,6 +194,8 @@ impl Default for OracleConfig {
             final_connectivity: None,
             final_min_fill: None,
             expect_detection: None,
+            redemption_bound: None,
+            byte_budget_per_cycle: None,
         }
     }
 }
@@ -203,6 +226,18 @@ pub struct Scenario {
     pub cycles: u64,
     /// Enabled oracles and thresholds.
     pub oracles: OracleConfig,
+    /// Give every honest node a durable [`sc_core::StateBackend`]
+    /// (in-memory for the simulated tier), so [`Event::Restart`] can
+    /// crash-restart it with state recovery.
+    pub durable: bool,
+    /// Let the runner re-sponsor island nodes at [`Event::Heal`] — the
+    /// pre-rejoin harness hack modelling an out-of-band bootstrap-server
+    /// reconnect. Off by default: partitions now heal through the
+    /// protocol's own starved-node rejoin pings (§V-A), and this flag
+    /// exists only as a fallback for scenarios whose islands are big
+    /// enough to keep gossiping internally (never starving, never
+    /// pinging).
+    pub runner_heal_fallback: bool,
     /// Turn scheduling for the underlying engine. Keep
     /// [`Execution::Sequential`] (the default) for scenarios with a
     /// Byzantine fraction: malicious nodes mutate a shared party ledger
@@ -227,6 +262,8 @@ impl Scenario {
             churn: None,
             cycles: 60,
             oracles: OracleConfig::default(),
+            durable: false,
+            runner_heal_fallback: false,
             execution: Execution::Sequential,
         }
     }
@@ -281,6 +318,29 @@ impl Scenario {
         self
     }
 
+    /// `kill -9`s and immediately restarts a random `frac` of the alive
+    /// honest nodes at `step`, each recovering from its durable backend
+    /// (implies [`Scenario::durable`]).
+    pub fn restart_at(mut self, step: u64, frac: f64) -> Self {
+        self.durable = true;
+        self.events.push(Event::Restart { step, frac });
+        self
+    }
+
+    /// Gives every honest node a durable state backend without scheduling
+    /// any restart (e.g. to measure the checkpoint overhead alone).
+    pub fn durable(mut self) -> Self {
+        self.durable = true;
+        self
+    }
+
+    /// Re-enables the runner's heal-time re-sponsorship fallback (see
+    /// [`Scenario::runner_heal_fallback`]).
+    pub fn heal_fallback(mut self) -> Self {
+        self.runner_heal_fallback = true;
+        self
+    }
+
     /// Replaces the per-direction loss rates `(request, response, oneway)`
     /// at `step`, keeping any active partition (loss regimes that change
     /// mid-run, e.g. a congestion burst that later clears).
@@ -325,6 +385,13 @@ impl Scenario {
             .iter()
             .any(|e| matches!(e, Event::Partition { .. }))
     }
+
+    /// Whether any scheduled event crash-restarts nodes.
+    pub fn has_restart(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, Event::Restart { .. }))
+    }
 }
 
 #[cfg(test)]
@@ -346,6 +413,18 @@ mod tests {
         assert!(sc.has_partition());
         assert_eq!(sc.events.len(), 3);
         assert!(sc.churn.is_some());
+        assert!(!sc.durable);
+        assert!(!sc.runner_heal_fallback);
+    }
+
+    #[test]
+    fn restart_builder_implies_durability() {
+        let sc = Scenario::new("r", 32).restart_at(10, 0.25);
+        assert!(sc.durable);
+        assert!(sc.has_restart());
+        assert_eq!(sc.events[0].step(), 10);
+        assert!(Scenario::new("d", 32).durable().durable);
+        assert!(Scenario::new("f", 32).heal_fallback().runner_heal_fallback);
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub struct NodeSnapshot {
     pub reserve: Vec<SecureDescriptor>,
     /// Blacklisted culprits.
     pub blacklist: Vec<NodeId>,
+    /// Redemption-cache entry count (the §V-C cache the bound oracle
+    /// audits).
+    pub redemptions: usize,
     /// Protocol counters.
     pub stats: SecureStats,
 }
@@ -51,6 +54,7 @@ impl From<StatusReport> for NodeSnapshot {
             view: r.view,
             reserve: r.reserve,
             blacklist: r.blacklist,
+            redemptions: r.redemptions,
             stats: r.stats,
         }
     }
@@ -86,6 +90,7 @@ impl NetSnapshot {
                         .collect(),
                     reserve: h.reserve().cloned().collect(),
                     blacklist: h.blacklist().culprits().copied().collect(),
+                    redemptions: h.redemption_count(),
                     stats: h.stats(),
                 })
             })

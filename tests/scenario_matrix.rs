@@ -126,7 +126,7 @@ fn batched_intake_state_matches_sequential() {
     let scenarios = standard_matrix(MatrixSize::quick());
     assert_eq!(
         scenarios.len(),
-        12,
+        14,
         "the equivalence sweep covers the full matrix"
     );
     for scenario in &scenarios {
