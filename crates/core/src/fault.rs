@@ -1,0 +1,485 @@
+//! Deterministic fault-injection specifications.
+//!
+//! A [`FaultSpec`] describes everything a fault-injecting transport may
+//! do to gossip frames — per-direction drop, bounded delay/reorder,
+//! duplication, partition severing, forced connection resets, and a
+//! bandwidth throttle — plus the seed every decision derives from. The
+//! spec itself makes the decisions: [`FaultSpec::decide`] is a pure
+//! counter-mode PRNG keyed by `(seed, direction, src, dst, frame_index)`,
+//! the same replay discipline as the simulator's `NetworkModel`, so a
+//! failing live run reproduces exactly from the printed seed and two
+//! transports holding the same spec agree on every frame's fate.
+//!
+//! The module lives in `sc-core` (not `sc-node`) because the spec
+//! crosses the wire: the daemon parses one from `--fault-spec`, and the
+//! testkit harness ships new specs mid-run inside `CtrlFault` control
+//! frames, both using the textual grammar of [`FaultSpec::parse`] /
+//! `Display` and the binary codec of [`FaultSpec::encode`] /
+//! [`FaultSpec::decode`].
+//!
+//! # Grammar
+//!
+//! Comma-separated `key=value` entries, all optional (an empty string is
+//! the no-fault spec):
+//!
+//! ```text
+//! seed=7,drop_in=0.1,drop_out=0.05,delay=0.2:4,dup=0.02,reset=0.01,
+//! bw=65536,sever=41007+41008
+//! ```
+//!
+//! * `seed` — decision seed (default 0)
+//! * `drop_in` / `drop_out` / `drop` — per-direction (or both) frame
+//!   drop probability
+//! * `delay=p:w` — with probability `p`, hold an inbound frame for
+//!   1..=`w` receive poll passes (bounded reorder)
+//! * `dup` — outbound duplication probability
+//! * `reset` — outbound forced-connection-reset probability
+//! * `bw` — outbound bandwidth throttle in bytes/second (0 = unlimited)
+//! * `sever` — `+`-separated peer addresses cut off entirely (partition)
+
+use crate::wire::WireError;
+use sc_sim::Addr;
+
+/// Default reorder window when `delay=p` omits the `:w` suffix.
+pub const DEFAULT_DELAY_WINDOW: u32 = 4;
+
+/// Direction of a frame relative to the transport applying faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDir {
+    /// A frame arriving from a peer.
+    Inbound,
+    /// A frame this node is sending.
+    Outbound,
+}
+
+/// The fate [`FaultSpec::decide`] assigns one frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Drop the frame silently.
+    pub drop: bool,
+    /// Send the frame twice (outbound only; ignored inbound).
+    pub duplicate: bool,
+    /// Hold the frame for this many receive poll passes before release
+    /// (inbound only; 0 = deliver immediately).
+    pub delay_polls: u32,
+    /// Tear down the cached connection to the peer before sending
+    /// (outbound only), forcing a redial.
+    pub reset: bool,
+}
+
+/// A deterministic fault-injection specification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Seed all per-frame decisions derive from.
+    pub seed: u64,
+    /// Probability an inbound frame is dropped.
+    pub drop_in: f64,
+    /// Probability an outbound frame is dropped (after being "sent").
+    pub drop_out: f64,
+    /// Probability an inbound frame is delayed.
+    pub delay_prob: f64,
+    /// Maximum delay in receive poll passes (the reorder bound).
+    pub delay_max_polls: u32,
+    /// Probability an outbound frame is duplicated.
+    pub dup_prob: f64,
+    /// Probability the cached connection is reset before an outbound
+    /// frame.
+    pub reset_prob: f64,
+    /// Outbound bandwidth throttle in bytes/second (0 = unlimited).
+    /// Wall-clock based, so excluded from the deterministic-decision
+    /// contract; everything else replays exactly.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Peer addresses severed entirely (both directions), kept sorted.
+    pub severed: Vec<Addr>,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0,
+            drop_in: 0.0,
+            drop_out: 0.0,
+            delay_prob: 0.0,
+            delay_max_polls: DEFAULT_DELAY_WINDOW,
+            dup_prob: 0.0,
+            reset_prob: 0.0,
+            bandwidth_bytes_per_sec: 0,
+            severed: Vec::new(),
+        }
+    }
+}
+
+/// SplitMix64 finalizer: the counter-mode mixing primitive.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform value in `[0, 1)` from the decision counter
+/// `(seed, salt, dir, src, dst, index)`. Pure: same inputs, same value.
+fn unit(seed: u64, salt: u64, dir: u64, src: Addr, dst: Addr, index: u64) -> f64 {
+    let mut h = mix64(seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(salt | 1));
+    h = mix64(h ^ (((src as u64) << 32) | dst as u64) ^ (dir << 62));
+    h = mix64(h ^ index);
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+const SALT_DROP: u64 = 1;
+const SALT_DELAY: u64 = 2;
+const SALT_DELAY_LEN: u64 = 3;
+const SALT_DUP: u64 = 4;
+const SALT_RESET: u64 = 5;
+
+impl FaultSpec {
+    /// Whether the spec injects nothing at all (exact pass-through).
+    pub fn is_noop(&self) -> bool {
+        self.drop_in == 0.0
+            && self.drop_out == 0.0
+            && self.delay_prob == 0.0
+            && self.dup_prob == 0.0
+            && self.reset_prob == 0.0
+            && self.bandwidth_bytes_per_sec == 0
+            && self.severed.is_empty()
+    }
+
+    /// Whether `peer` is on the severed side of the partition set.
+    pub fn severs(&self, peer: Addr) -> bool {
+        self.severed.binary_search(&peer).is_ok()
+    }
+
+    /// The fate of the `index`-th frame between `src` and `dst` in
+    /// direction `dir`. Pure counter-mode PRNG: identical
+    /// `(spec, dir, src, dst, index)` always yields the identical
+    /// decision, independent of call order or wall clock.
+    pub fn decide(&self, dir: FaultDir, src: Addr, dst: Addr, index: u64) -> FaultDecision {
+        let d = match dir {
+            FaultDir::Inbound => 0u64,
+            FaultDir::Outbound => 1u64,
+        };
+        let drop_p = match dir {
+            FaultDir::Inbound => self.drop_in,
+            FaultDir::Outbound => self.drop_out,
+        };
+        let roll = |salt| unit(self.seed, salt, d, src, dst, index);
+        let drop = drop_p > 0.0 && roll(SALT_DROP) < drop_p;
+        let delay_polls = if !drop && self.delay_prob > 0.0 && roll(SALT_DELAY) < self.delay_prob {
+            let w = self.delay_max_polls.max(1);
+            1 + (roll(SALT_DELAY_LEN) * w as f64) as u32
+        } else {
+            0
+        };
+        FaultDecision {
+            drop,
+            duplicate: self.dup_prob > 0.0 && roll(SALT_DUP) < self.dup_prob,
+            delay_polls: delay_polls.min(self.delay_max_polls.max(1)),
+            reset: self.reset_prob > 0.0 && roll(SALT_RESET) < self.reset_prob,
+        }
+    }
+
+    /// Clamps probabilities into `[0, 1]` (NaN → 0) and sorts the
+    /// severed set; applied after parse/decode so hostile or sloppy
+    /// input cannot produce out-of-contract decisions.
+    pub fn sanitized(mut self) -> FaultSpec {
+        let clamp = |p: f64| {
+            if p.is_finite() {
+                p.clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        };
+        self.drop_in = clamp(self.drop_in);
+        self.drop_out = clamp(self.drop_out);
+        self.delay_prob = clamp(self.delay_prob);
+        self.dup_prob = clamp(self.dup_prob);
+        self.reset_prob = clamp(self.reset_prob);
+        self.delay_max_polls = self.delay_max_polls.clamp(1, 1 << 16);
+        self.severed.sort_unstable();
+        self.severed.dedup();
+        self
+    }
+
+    /// Parses the textual grammar (see module docs). Empty input is the
+    /// no-fault spec.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending entry.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let mut spec = FaultSpec::default();
+        for entry in s.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (key, val) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fault-spec entry '{entry}' is not key=value"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                v.parse::<f64>()
+                    .ok()
+                    .filter(|p| p.is_finite() && (0.0..=1.0).contains(p))
+                    .ok_or_else(|| format!("fault-spec {key}: '{v}' is not a probability"))
+            };
+            match key {
+                "seed" => {
+                    spec.seed = val
+                        .parse()
+                        .map_err(|_| format!("fault-spec seed: '{val}' is not a u64"))?;
+                }
+                "drop" => {
+                    spec.drop_in = prob(val)?;
+                    spec.drop_out = spec.drop_in;
+                }
+                "drop_in" => spec.drop_in = prob(val)?,
+                "drop_out" => spec.drop_out = prob(val)?,
+                "delay" => {
+                    let (p, w) = match val.split_once(':') {
+                        Some((p, w)) => (
+                            p,
+                            w.parse::<u32>().ok().filter(|&w| w >= 1).ok_or_else(|| {
+                                format!("fault-spec delay window '{w}' is not a positive int")
+                            })?,
+                        ),
+                        None => (val, DEFAULT_DELAY_WINDOW),
+                    };
+                    spec.delay_prob = prob(p)?;
+                    spec.delay_max_polls = w;
+                }
+                "dup" => spec.dup_prob = prob(val)?,
+                "reset" => spec.reset_prob = prob(val)?,
+                "bw" => {
+                    spec.bandwidth_bytes_per_sec = val
+                        .parse()
+                        .map_err(|_| format!("fault-spec bw: '{val}' is not a u64"))?;
+                }
+                "sever" => {
+                    for a in val.split('+').filter(|a| !a.is_empty()) {
+                        let addr: Addr = a
+                            .parse()
+                            .map_err(|_| format!("fault-spec sever: '{a}' is not an address"))?;
+                        spec.severed.push(addr);
+                    }
+                }
+                other => return Err(format!("unknown fault-spec key '{other}'")),
+            }
+        }
+        Ok(spec.sanitized())
+    }
+
+    /// Appends the binary encoding (for `CtrlFault` frame payloads).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seed.to_be_bytes());
+        for p in [
+            self.drop_in,
+            self.drop_out,
+            self.delay_prob,
+            self.dup_prob,
+            self.reset_prob,
+        ] {
+            out.extend_from_slice(&p.to_bits().to_be_bytes());
+        }
+        out.extend_from_slice(&self.delay_max_polls.to_be_bytes());
+        out.extend_from_slice(&self.bandwidth_bytes_per_sec.to_be_bytes());
+        out.extend_from_slice(&(self.severed.len() as u16).to_be_bytes());
+        for a in &self.severed {
+            out.extend_from_slice(&a.to_be_bytes());
+        }
+    }
+
+    /// Decodes a binary spec, returning it with the bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEnd`] on truncation,
+    /// [`WireError::ListTooLong`] on an oversized severed set. Field
+    /// values are sanitized rather than rejected.
+    pub fn decode(buf: &[u8]) -> Result<(FaultSpec, usize), WireError> {
+        struct Cur<'a> {
+            buf: &'a [u8],
+            pos: usize,
+        }
+        impl Cur<'_> {
+            fn bytes<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+                let b = self
+                    .buf
+                    .get(self.pos..self.pos + N)
+                    .ok_or(WireError::UnexpectedEnd)?
+                    .try_into()
+                    .unwrap();
+                self.pos += N;
+                Ok(b)
+            }
+            fn u64(&mut self) -> Result<u64, WireError> {
+                Ok(u64::from_be_bytes(self.bytes()?))
+            }
+        }
+        let mut c = Cur { buf, pos: 0 };
+        let seed = c.u64()?;
+        let drop_in = f64::from_bits(c.u64()?);
+        let drop_out = f64::from_bits(c.u64()?);
+        let delay_prob = f64::from_bits(c.u64()?);
+        let dup_prob = f64::from_bits(c.u64()?);
+        let reset_prob = f64::from_bits(c.u64()?);
+        let delay_max_polls = u32::from_be_bytes(c.bytes()?);
+        let bandwidth_bytes_per_sec = c.u64()?;
+        let n = u16::from_be_bytes(c.bytes()?) as usize;
+        if n > 4096 {
+            return Err(WireError::ListTooLong(n as u16));
+        }
+        let mut severed = Vec::with_capacity(n);
+        for _ in 0..n {
+            severed.push(u32::from_be_bytes(c.bytes()?));
+        }
+        let pos = c.pos;
+        let spec = FaultSpec {
+            seed,
+            drop_in,
+            drop_out,
+            delay_prob,
+            delay_max_polls,
+            dup_prob,
+            reset_prob,
+            bandwidth_bytes_per_sec,
+            severed,
+        }
+        .sanitized();
+        Ok((spec, pos))
+    }
+}
+
+impl core::fmt::Display for FaultSpec {
+    /// Renders the spec in its own parse grammar (replay lines).
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if self.seed != 0 {
+            parts.push(format!("seed={}", self.seed));
+        }
+        if self.drop_in > 0.0 && self.drop_in == self.drop_out {
+            parts.push(format!("drop={}", self.drop_in));
+        } else {
+            if self.drop_in > 0.0 {
+                parts.push(format!("drop_in={}", self.drop_in));
+            }
+            if self.drop_out > 0.0 {
+                parts.push(format!("drop_out={}", self.drop_out));
+            }
+        }
+        if self.delay_prob > 0.0 {
+            parts.push(format!(
+                "delay={}:{}",
+                self.delay_prob, self.delay_max_polls
+            ));
+        }
+        if self.dup_prob > 0.0 {
+            parts.push(format!("dup={}", self.dup_prob));
+        }
+        if self.reset_prob > 0.0 {
+            parts.push(format!("reset={}", self.reset_prob));
+        }
+        if self.bandwidth_bytes_per_sec > 0 {
+            parts.push(format!("bw={}", self.bandwidth_bytes_per_sec));
+        }
+        if !self.severed.is_empty() {
+            let addrs: Vec<String> = self.severed.iter().map(|a| a.to_string()).collect();
+            parts.push(format!("sever={}", addrs.join("+")));
+        }
+        write!(f, "{}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_grammar_roundtrips_through_display() {
+        let spec = FaultSpec::parse(
+            "seed=7,drop_in=0.1,drop_out=0.05,delay=0.2:3,dup=0.02,reset=0.01,\
+             bw=65536,sever=41008+41007",
+        )
+        .unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.drop_in, 0.1);
+        assert_eq!(spec.delay_max_polls, 3);
+        assert_eq!(spec.severed, vec![41007, 41008], "severed set sorted");
+        let again = FaultSpec::parse(&spec.to_string()).unwrap();
+        assert_eq!(again, spec);
+
+        assert_eq!(FaultSpec::parse("").unwrap(), FaultSpec::default());
+        assert!(FaultSpec::default().is_noop());
+        assert!(FaultSpec::parse("drop=0.5").unwrap().drop_out == 0.5);
+        assert_eq!(
+            FaultSpec::parse("delay=0.5").unwrap().delay_max_polls,
+            DEFAULT_DELAY_WINDOW
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultSpec::parse("drop=1.5").is_err());
+        assert!(FaultSpec::parse("drop=nan").is_err());
+        assert!(FaultSpec::parse("nonsense").is_err());
+        assert!(FaultSpec::parse("unknown=1").is_err());
+        assert!(FaultSpec::parse("delay=0.5:0").is_err());
+        assert!(FaultSpec::parse("sever=abc").is_err());
+    }
+
+    #[test]
+    fn wire_roundtrips_and_rejects_truncation() {
+        let spec = FaultSpec::parse("seed=9,drop=0.2,delay=0.1:8,sever=1+2+3").unwrap();
+        let mut buf = vec![0xAA; 3]; // prefix noise: decode reports offset
+        let start = buf.len();
+        spec.encode(&mut buf);
+        let (back, used) = FaultSpec::decode(&buf[start..]).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(used, buf.len() - start);
+        for cut in [0, 8, used - 1] {
+            assert_eq!(
+                FaultSpec::decode(&buf[start..start + cut]).unwrap_err(),
+                WireError::UnexpectedEnd
+            );
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_counter_mode() {
+        let spec = FaultSpec::parse("seed=3,drop=0.3,delay=0.4:6,dup=0.2,reset=0.1").unwrap();
+        let a: Vec<FaultDecision> = (0..500)
+            .map(|i| spec.decide(FaultDir::Inbound, 10, 20, i))
+            .collect();
+        let b: Vec<FaultDecision> = (0..500)
+            .map(|i| spec.decide(FaultDir::Inbound, 10, 20, i))
+            .collect();
+        assert_eq!(a, b, "same counter, same decisions");
+
+        // The streams actually vary across indices, directions, pairs,
+        // and seeds (a constant PRNG would also be "deterministic").
+        assert!(a.iter().any(|d| d.drop) && a.iter().any(|d| !d.drop));
+        let flip_dir: Vec<FaultDecision> = (0..500)
+            .map(|i| spec.decide(FaultDir::Outbound, 10, 20, i))
+            .collect();
+        assert_ne!(a, flip_dir);
+        let other_seed = FaultSpec {
+            seed: 4,
+            ..spec.clone()
+        };
+        let c: Vec<FaultDecision> = (0..500)
+            .map(|i| other_seed.decide(FaultDir::Inbound, 10, 20, i))
+            .collect();
+        assert_ne!(a, c);
+
+        // Delays respect the reorder bound.
+        assert!(a.iter().all(|d| d.delay_polls <= 6));
+        assert!(a.iter().any(|d| d.delay_polls > 0));
+    }
+
+    #[test]
+    fn zero_rates_decide_nothing() {
+        let spec = FaultSpec::default();
+        for i in 0..100 {
+            assert_eq!(
+                spec.decide(FaultDir::Outbound, 1, 2, i),
+                FaultDecision::default()
+            );
+        }
+        assert!(!spec.severs(7));
+        assert!(FaultSpec::parse("sever=7").unwrap().severs(7));
+    }
+}

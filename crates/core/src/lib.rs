@@ -54,6 +54,7 @@ pub mod chain;
 pub mod checks;
 pub mod config;
 pub mod descriptor;
+pub mod fault;
 pub mod memo;
 pub mod msg;
 pub mod node;
@@ -72,6 +73,7 @@ pub use config::SecureConfig;
 pub use descriptor::{
     ChainLink, DescriptorError, DescriptorId, Genesis, LinkKind, SecureDescriptor,
 };
+pub use fault::{FaultDecision, FaultDir, FaultSpec};
 pub use memo::VerifyMemo;
 pub use msg::{
     AcceptBody, JoinGrantBody, JoinPingBody, RequestBody, RoundBody, RoundReplyBody, SecureMsg,

@@ -6,7 +6,7 @@
 //! correspondence for loopback clusters.
 
 use sc_core::wire::WireLimits;
-use sc_core::SecureConfig;
+use sc_core::{FaultSpec, SecureConfig};
 use sc_crypto::{Keypair, Scheme};
 use sc_sim::Addr;
 use std::path::PathBuf;
@@ -56,6 +56,15 @@ pub struct NodeConfig {
     pub connect_timeout: Duration,
     /// How long an in-turn RPC waits for its reply.
     pub rpc_timeout: Duration,
+    /// How many times an unanswered RPC request is retransmitted inside
+    /// [`NodeConfig::rpc_timeout`]. Always the byte-identical frame —
+    /// never a re-emission, so the §IV-B frequency rule holds; the
+    /// responder serves duplicates from a reply cache.
+    pub rpc_retransmits: u32,
+    /// Fault-injection spec the transport starts under (`--fault-spec`;
+    /// defaults to no faults). Reconfigurable at cycle boundaries
+    /// through `CtrlFault` control frames.
+    pub fault_spec: FaultSpec,
     /// Durable-state directory. When set, the daemon appends its
     /// incriminating-if-lost state to `<dir>/sc-node-<addr>.log` and
     /// recovers from it on boot, so a `kill -9` mid-cycle cannot make a
@@ -85,6 +94,8 @@ impl NodeConfig {
             max_frame_bytes: super::frame::DEFAULT_MAX_FRAME_BYTES,
             connect_timeout: Duration::from_millis(250),
             rpc_timeout: Duration::from_millis(40),
+            rpc_retransmits: 1,
+            fault_spec: FaultSpec::default(),
             state_dir: None,
         }
     }
@@ -172,6 +183,13 @@ impl NodeConfig {
                         "--rpc-timeout-ms",
                     )?);
                 }
+                "--rpc-retransmits" => {
+                    cfg.rpc_retransmits =
+                        parse_num(val("--rpc-retransmits")?, "--rpc-retransmits")?;
+                }
+                "--fault-spec" => {
+                    cfg.fault_spec = FaultSpec::parse(val("--fault-spec")?)?;
+                }
                 "--state-dir" => cfg.state_dir = Some(PathBuf::from(val("--state-dir")?)),
                 other => return Err(format!("unknown flag '{other}'")),
             }
@@ -238,6 +256,24 @@ mod tests {
             cfg.state_dir.as_deref(),
             Some(std::path::Path::new("/tmp/sc-state"))
         );
+    }
+
+    #[test]
+    fn parses_fault_and_retransmit_flags() {
+        let cfg = NodeConfig::parse(&args(
+            "--addr 41000 --scheme keyed --rpc-retransmits 2 \
+             --fault-spec seed=5,drop=0.1,sever=41003",
+        ))
+        .unwrap();
+        assert_eq!(cfg.rpc_retransmits, 2);
+        assert_eq!(cfg.fault_spec.seed, 5);
+        assert_eq!(cfg.fault_spec.drop_out, 0.1);
+        assert!(cfg.fault_spec.severs(41003));
+        assert!(NodeConfig::parse(&args("--addr 41000 --fault-spec drop=2")).is_err());
+        // The default spec injects nothing.
+        let plain = NodeConfig::parse(&args("--addr 41000")).unwrap();
+        assert!(plain.fault_spec.is_noop());
+        assert_eq!(plain.rpc_retransmits, 1);
     }
 
     #[test]

@@ -42,6 +42,13 @@ pub struct StatusReport {
     pub stats: SecureStats,
     /// Transport counters.
     pub transport: TransportStats,
+    /// RPC request frames retransmitted inside their deadline (the same
+    /// encoded frame, never a re-emission — §IV-B forbids a second
+    /// descriptor per period).
+    pub retransmits: u64,
+    /// Turn deadlines that passed without firing (daemon fell behind the
+    /// shared clock or was partitioned off it).
+    pub turns_skipped: u64,
 }
 
 fn put_u16(out: &mut Vec<u8>, v: usize) {
@@ -125,6 +132,45 @@ fn stats_to_array(s: &SecureStats) -> [u64; 23] {
     ]
 }
 
+/// The [`TransportStats`] counters in wire order — same append-only
+/// discipline as [`stats_to_array`].
+fn transport_to_array(t: &TransportStats) -> [u64; 13] {
+    [
+        t.frames_in,
+        t.frames_out,
+        t.bytes_in,
+        t.bytes_out,
+        t.active_conns,
+        t.peak_conns,
+        t.connect_failures,
+        t.poisoned_conns,
+        t.frames_dropped_injected,
+        t.frames_delayed,
+        t.frames_duplicated,
+        t.resets_injected,
+        t.frames_throttled,
+    ]
+}
+
+fn transport_from_array(a: &[u64]) -> TransportStats {
+    let g = |i: usize| a.get(i).copied().unwrap_or(0);
+    TransportStats {
+        frames_in: g(0),
+        frames_out: g(1),
+        bytes_in: g(2),
+        bytes_out: g(3),
+        active_conns: g(4),
+        peak_conns: g(5),
+        connect_failures: g(6),
+        poisoned_conns: g(7),
+        frames_dropped_injected: g(8),
+        frames_delayed: g(9),
+        frames_duplicated: g(10),
+        resets_injected: g(11),
+        frames_throttled: g(12),
+    }
+}
+
 fn stats_from_array(a: &[u64]) -> SecureStats {
     let g = |i: usize| a.get(i).copied().unwrap_or(0);
     SecureStats {
@@ -168,17 +214,9 @@ impl StatusReport {
         for v in stats {
             put_u64(&mut out, v);
         }
-        let t = &self.transport;
-        for v in [
-            t.frames_in,
-            t.frames_out,
-            t.bytes_in,
-            t.bytes_out,
-            t.active_conns,
-            t.peak_conns,
-            t.connect_failures,
-            t.poisoned_conns,
-        ] {
+        let transport = transport_to_array(&self.transport);
+        put_u16(&mut out, transport.len());
+        for v in transport {
             put_u64(&mut out, v);
         }
         put_u16(&mut out, self.view.len());
@@ -194,8 +232,11 @@ impl StatusReport {
         for id in &self.blacklist {
             out.extend_from_slice(id.as_bytes());
         }
-        // Trailing extension (older decoders treat it as optional).
+        // Trailing extensions (older decoders treat them as optional,
+        // and everything after a tear decodes as zero).
         put_u16(&mut out, self.redemptions);
+        put_u64(&mut out, self.retransmits);
+        put_u64(&mut out, self.turns_skipped);
         out
     }
 
@@ -220,20 +261,15 @@ impl StatusReport {
             raw.push(c.u64()?);
         }
         let stats = stats_from_array(&raw);
-        let mut t = [0u64; 8];
-        for v in &mut t {
-            *v = c.u64()?;
+        let n_transport = c.u16()?;
+        if n_transport > 64 {
+            return Err(WireError::ListTooLong(n_transport as u16));
         }
-        let transport = TransportStats {
-            frames_in: t[0],
-            frames_out: t[1],
-            bytes_in: t[2],
-            bytes_out: t[3],
-            active_conns: t[4],
-            peak_conns: t[5],
-            connect_failures: t[6],
-            poisoned_conns: t[7],
-        };
+        let mut raw_t = Vec::with_capacity(n_transport);
+        for _ in 0..n_transport {
+            raw_t.push(c.u64()?);
+        }
+        let transport = transport_from_array(&raw_t);
         let n_view = c.u16()?;
         if n_view > limits.max_list_len {
             return Err(WireError::ListTooLong(n_view as u16));
@@ -263,8 +299,10 @@ impl StatusReport {
         for _ in 0..n_bl {
             blacklist.push(c.key()?);
         }
-        // Optional trailing extension from newer daemons.
+        // Optional trailing extensions from newer daemons.
         let redemptions = c.u16().unwrap_or(0);
+        let retransmits = c.u64().unwrap_or(0);
+        let turns_skipped = c.u64().unwrap_or(0);
         Ok(StatusReport {
             addr,
             id,
@@ -277,6 +315,8 @@ impl StatusReport {
             redemptions,
             stats,
             transport,
+            retransmits,
+            turns_skipped,
         })
     }
 }
@@ -361,6 +401,25 @@ impl ControlClient {
             .map_err(|_| ErrorKind::InvalidData.into())
     }
 
+    /// Installs a fault-injection spec on the daemon. The daemon
+    /// acknowledges immediately but applies the spec at its next cycle
+    /// boundary, so every cycle runs under exactly one spec.
+    ///
+    /// # Errors
+    ///
+    /// IO failures or timeout waiting for the acknowledgement.
+    pub fn set_fault(
+        &mut self,
+        spec: &sc_core::FaultSpec,
+        timeout: Duration,
+    ) -> std::io::Result<()> {
+        let mut payload = Vec::with_capacity(64);
+        spec.encode(&mut payload);
+        let req = Frame::new(FrameKind::CtrlFault, 0, payload);
+        self.round(req, FrameKind::CtrlFaultReply, timeout)?;
+        Ok(())
+    }
+
     /// Asks the daemon to exit its run loop. Fire-and-forget.
     ///
     /// # Errors
@@ -429,8 +488,12 @@ mod tests {
             transport: TransportStats {
                 frames_in: 9000,
                 peak_conns: 37,
+                frames_dropped_injected: 41,
+                frames_delayed: 11,
                 ..TransportStats::default()
             },
+            retransmits: 17,
+            turns_skipped: 3,
         };
         let bytes = report.encode();
         let back = StatusReport::decode(&bytes, &WireLimits::DEFAULT).unwrap();
@@ -447,6 +510,8 @@ mod tests {
         assert_eq!(back.redemptions, 5);
         assert_eq!(back.stats, report.stats);
         assert_eq!(back.transport, report.transport);
+        assert_eq!(back.retransmits, 17);
+        assert_eq!(back.turns_skipped, 3);
     }
 
     #[test]
@@ -464,15 +529,24 @@ mod tests {
             redemptions: 0,
             stats: SecureStats::default(),
             transport: TransportStats::default(),
+            retransmits: 9,
+            turns_skipped: 9,
         };
         let bytes = report.encode();
-        // The last 2 bytes are the optional redemptions extension; cuts
-        // inside the required prefix must error.
-        for cut in [0, 10, bytes.len() - 3] {
+        // The last 18 bytes are the optional extensions (redemptions u16,
+        // retransmits u64, turns_skipped u64); cuts inside the required
+        // prefix must error.
+        let tail = 2 + 8 + 8;
+        for cut in [0, 10, bytes.len() - tail - 1] {
             assert!(StatusReport::decode(&bytes[..cut], &WireLimits::DEFAULT).is_err());
         }
-        // A torn optional tail still decodes (as an older daemon's report).
-        let old = StatusReport::decode(&bytes[..bytes.len() - 2], &WireLimits::DEFAULT).unwrap();
+        // A torn optional tail still decodes (as an older daemon's
+        // report, with the torn counters zeroed).
+        let old = StatusReport::decode(&bytes[..bytes.len() - tail], &WireLimits::DEFAULT).unwrap();
         assert_eq!(old.redemptions, 0);
+        assert_eq!(old.retransmits, 0);
+        let torn = StatusReport::decode(&bytes[..bytes.len() - 8], &WireLimits::DEFAULT).unwrap();
+        assert_eq!(torn.retransmits, 9);
+        assert_eq!(torn.turns_skipped, 0);
     }
 }

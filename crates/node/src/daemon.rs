@@ -23,10 +23,11 @@
 
 use crate::config::NodeConfig;
 use crate::control::StatusReport;
+use crate::fault::FaultTransport;
 use crate::frame::{Frame, FrameKind};
 use crate::transport::{ConnId, Inbound, TcpTransport, Transport};
 use sc_core::wire::{self, WireError};
-use sc_core::{ring_bootstrap, SecureCyclonNode, SecureMsg};
+use sc_core::{ring_bootstrap, FaultSpec, SecureCyclonNode, SecureMsg};
 use sc_crypto::{PublicKey, PUBLIC_KEY_LEN};
 use sc_sim::{testkit::with_node_ctx, Addr, CycleCtx, RpcOutcome, TurnDriver};
 use std::collections::VecDeque;
@@ -45,11 +46,14 @@ pub struct RunSummary {
     pub transport: crate::transport::TransportStats,
 }
 
+/// Cap on cached replies served to retransmitted requests.
+const REPLY_CACHE_CAP: usize = 32;
+
 /// A running SecureCyclon daemon.
 pub struct Daemon {
     cfg: NodeConfig,
     node: SecureCyclonNode,
-    transport: TcpTransport,
+    transport: FaultTransport<TcpTransport>,
     joined: bool,
     start_cycle: u64,
     epoch_ms: u64,
@@ -65,6 +69,18 @@ pub struct Daemon {
     deferred: VecDeque<Inbound>,
     cycles_run: u64,
     shutdown: bool,
+    /// A `CtrlFault` spec awaiting its cycle boundary, with the cycle it
+    /// arrived in: applying only once the clock moves past that cycle
+    /// keeps every cycle under exactly one spec.
+    pending_fault: Option<(FaultSpec, u64)>,
+    /// Replies to recent requests, keyed `(from, req_id, request
+    /// payload)`, so a retransmitted request is answered byte-for-byte
+    /// without re-running the protocol handler (idempotence).
+    reply_cache: VecDeque<(Addr, u32, Vec<u8>, Vec<u8>)>,
+    /// RPC request frames retransmitted inside their deadline.
+    retransmits: u64,
+    /// Turn deadlines that passed unfired (fell behind the shared clock).
+    turns_skipped: u64,
 }
 
 fn unix_ms() -> u64 {
@@ -114,7 +130,8 @@ impl Daemon {
         // cloning evidence. The frequency half of the same guard is the
         // recovered emission marker (`last_emission`).
         let recovered = !node.view().is_empty() || node.last_emission().is_some();
-        let transport = TcpTransport::bind(cfg.addr, cfg.connect_timeout, cfg.max_frame_bytes)?;
+        let tcp = TcpTransport::bind(cfg.addr, cfg.connect_timeout, cfg.max_frame_bytes)?;
+        let transport = FaultTransport::new(tcp, cfg.fault_spec.clone());
         let start_cycle = cfg.secure.view_len as u64;
         let epoch_ms = if cfg.epoch_millis == 0 {
             unix_ms()
@@ -134,6 +151,10 @@ impl Daemon {
             deferred: VecDeque::new(),
             cycles_run: 0,
             shutdown: false,
+            pending_fault: None,
+            reply_cache: VecDeque::new(),
+            retransmits: 0,
+            turns_skipped: 0,
             cfg,
         };
         if recovered {
@@ -217,6 +238,7 @@ impl Daemon {
             if self.cfg.run_cycles > 0 && self.cycles_run >= self.cfg.run_cycles {
                 break;
             }
+            self.apply_pending_fault();
             let stopping = self.cfg.stop_cycle > 0 && self.current_cycle() >= self.cfg.stop_cycle;
             if stopping {
                 let since = *stopped_at.get_or_insert_with(Instant::now);
@@ -227,6 +249,13 @@ impl Daemon {
                 self.try_join(self.current_cycle());
             } else if let Some(due) = self.due_turn_cycle() {
                 if self.last_fired.is_none_or(|c| due > c) {
+                    if let Some(last) = self.last_fired {
+                        // §IV-B allows one emission per period — a node
+                        // that fell behind the shared clock (or was cut
+                        // off by a partition) never back-fills missed
+                        // turns, it just counts them.
+                        self.turns_skipped += due - last - 1;
+                    }
                     self.grant_pending_join(due);
                     self.fire_turn(due);
                     self.last_fired = Some(due);
@@ -248,17 +277,30 @@ impl Daemon {
         }
     }
 
+    /// Installs a pending `CtrlFault` spec once the clock leaves the
+    /// cycle it arrived in, so no cycle straddles two specs.
+    fn apply_pending_fault(&mut self) {
+        if let Some((_, rx_cycle)) = &self.pending_fault {
+            if self.current_cycle() > *rx_cycle {
+                let (spec, _) = self.pending_fault.take().unwrap();
+                self.transport.set_spec(spec);
+            }
+        }
+    }
+
     /// One active gossip turn through the engine-targeted protocol code.
     fn fire_turn(&mut self, cycle: u64) {
         let mut io = TurnIo {
             transport: &mut self.transport,
             deferred: &mut self.deferred,
             next_req_id: &mut self.next_req_id,
+            retransmits: &mut self.retransmits,
             self_addr: self.cfg.addr,
             cycle,
             now: cycle * self.cfg.secure.ticks_per_cycle,
             tpc: self.cfg.secure.ticks_per_cycle,
             rpc_timeout: self.cfg.rpc_timeout,
+            rpc_retransmits: self.cfg.rpc_retransmits,
             cfg: &self.cfg,
         };
         let mut ctx = CycleCtx::<SecureCyclonNode>::driven(self.cfg.addr, &mut io);
@@ -309,12 +351,25 @@ impl Daemon {
         let period = self.cfg.secure.ticks_per_cycle;
         match ib.frame.kind {
             FrameKind::Request => {
+                let from = ib.frame.from;
+                // A retransmitted request (same initiator, same req_id,
+                // byte-identical payload) gets the cached reply: running
+                // the handler twice would double-apply the exchange.
+                if ib.frame.req_id != 0 {
+                    if let Some((_, _, _, cached)) = self.reply_cache.iter().find(|(a, r, p, _)| {
+                        *a == from && *r == ib.frame.req_id && *p == ib.frame.payload
+                    }) {
+                        let mut f = Frame::new(FrameKind::Reply, self.cfg.addr, cached.clone());
+                        f.req_id = ib.frame.req_id;
+                        self.transport.respond(ib.conn, &f);
+                        return;
+                    }
+                }
                 let Ok(msg) =
                     wire::decode_message_with(&ib.frame.payload, period, &self.cfg.wire_limits)
                 else {
                     return;
                 };
-                let from = ib.frame.from;
                 let reply = if self.joined {
                     let (reply, floods) = with_node_ctx(cycle, period, self.cfg.addr, |ctx| {
                         self.node.on_rpc_any(from, msg, ctx)
@@ -331,6 +386,17 @@ impl Daemon {
                     wire::encode_message(&m, &mut out);
                     out
                 });
+                if ib.frame.req_id != 0 {
+                    if self.reply_cache.len() >= REPLY_CACHE_CAP {
+                        self.reply_cache.pop_front();
+                    }
+                    self.reply_cache.push_back((
+                        from,
+                        ib.frame.req_id,
+                        ib.frame.payload.clone(),
+                        payload.clone(),
+                    ));
+                }
                 let mut f = Frame::new(FrameKind::Reply, self.cfg.addr, payload);
                 f.req_id = ib.frame.req_id;
                 self.transport.respond(ib.conn, &f);
@@ -389,7 +455,16 @@ impl Daemon {
             FrameKind::CtrlShutdown => {
                 self.shutdown = true;
             }
-            FrameKind::Reply | FrameKind::CtrlStatusReply => {
+            FrameKind::CtrlFault => {
+                let Ok((spec, _)) = FaultSpec::decode(&ib.frame.payload) else {
+                    return; // malformed spec: no ack, client times out
+                };
+                self.pending_fault = Some((spec, cycle));
+                let mut f = Frame::new(FrameKind::CtrlFaultReply, self.cfg.addr, Vec::new());
+                f.req_id = ib.frame.req_id;
+                self.transport.respond(ib.conn, &f);
+            }
+            FrameKind::Reply | FrameKind::CtrlStatusReply | FrameKind::CtrlFaultReply => {
                 // Stale RPC replies (their turn already timed out) and
                 // misdirected control traffic are dropped.
             }
@@ -425,6 +500,8 @@ impl Daemon {
             redemptions: self.node.redemption_count(),
             stats: self.stats(),
             transport: self.transport.stats(),
+            retransmits: self.retransmits,
+            turns_skipped: self.turns_skipped,
         }
     }
 
@@ -468,14 +545,16 @@ fn decode_join_grant(
 /// Carries one turn's RPCs and sends over the transport; frames that are
 /// not the awaited reply are deferred to after the turn.
 struct TurnIo<'a> {
-    transport: &'a mut TcpTransport,
+    transport: &'a mut FaultTransport<TcpTransport>,
     deferred: &'a mut VecDeque<Inbound>,
     next_req_id: &'a mut u32,
+    retransmits: &'a mut u64,
     self_addr: Addr,
     cycle: u64,
     now: u64,
     tpc: u64,
     rpc_timeout: Duration,
+    rpc_retransmits: u32,
     cfg: &'a NodeConfig,
 }
 
@@ -502,11 +581,28 @@ impl TurnDriver<SecureMsg> for TurnIo<'_> {
         if !self.transport.send_to(to, &f) {
             return RpcOutcome::Timeout;
         }
-        let deadline = Instant::now() + self.rpc_timeout;
+        // The deadline splits into retransmit slices: an unanswered
+        // request is resent byte-identically (same req_id, same
+        // descriptor) at each slice boundary. Never a re-emission — the
+        // §IV-B frequency rule forbids a second descriptor per period —
+        // and the responder's reply cache keeps duplicates idempotent.
+        let start = Instant::now();
+        let deadline = start + self.rpc_timeout;
+        let slice = self.rpc_timeout / (self.rpc_retransmits + 1);
+        let mut resends_left = self.rpc_retransmits;
+        let mut next_resend = start + slice;
         loop {
-            let left = deadline.saturating_duration_since(Instant::now());
+            let now = Instant::now();
+            let left = deadline.saturating_duration_since(now);
             if left.is_zero() {
                 return RpcOutcome::Timeout;
+            }
+            if resends_left > 0 && now >= next_resend {
+                resends_left -= 1;
+                next_resend = now + slice;
+                if self.transport.send_to(to, &f) {
+                    *self.retransmits += 1;
+                }
             }
             let Some(ib) = self.transport.recv(left.min(Duration::from_millis(2))) else {
                 continue;

@@ -1,0 +1,376 @@
+//! Deterministic fault injection over any [`Transport`].
+//!
+//! [`FaultTransport`] wraps an inner transport and applies a
+//! [`FaultSpec`] to every *gossip* frame crossing it: seeded per-frame
+//! drop (each direction), bounded delay/reorder via a release queue
+//! drained in the receive poll loop, outbound duplication, partition
+//! severing by peer address, forced connection resets, and a wall-clock
+//! bandwidth throttle. Control frames (`Ctrl*`) are exempt in both
+//! directions so a harness can always scrape, reconfigure, and shut
+//! down a daemon no matter how hostile the injected network is.
+//!
+//! Every decision comes from [`FaultSpec::decide`], a pure counter-mode
+//! PRNG keyed by `(seed, direction, src, dst, frame_index)` with the
+//! frame index counted per peer per direction. The same spec applied to
+//! the same frame sequence therefore makes byte-identical decisions —
+//! the whole point: a failing live-cluster run replays exactly from the
+//! printed seed. The one deliberate exception is the bandwidth
+//! throttle, which meters real elapsed time and so only shapes pacing,
+//! never which frames survive.
+
+use crate::frame::{Frame, FrameKind};
+use crate::transport::{ConnId, Inbound, Transport, TransportStats};
+use sc_core::{FaultDir, FaultSpec};
+use sc_sim::Addr;
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Sleep granularity of the receive poll loop.
+const POLL_SLEEP: Duration = Duration::from_micros(500);
+/// Upper bound on one throttle stall, so a tiny `bw=` cannot wedge the
+/// daemon's event loop.
+const MAX_THROTTLE_STALL: Duration = Duration::from_millis(100);
+
+/// Counters for injected faults, merged into [`TransportStats`].
+#[derive(Clone, Copy, Debug, Default)]
+struct Injected {
+    dropped: u64,
+    delayed: u64,
+    duplicated: u64,
+    resets: u64,
+    throttled: u64,
+}
+
+/// A fault-injecting [`Transport`] wrapper. See the module docs.
+pub struct FaultTransport<T: Transport> {
+    inner: T,
+    spec: FaultSpec,
+    /// Outbound faultable-frame counters, per destination.
+    out_index: HashMap<Addr, u64>,
+    /// Inbound faultable-frame counters, per source.
+    in_index: HashMap<Addr, u64>,
+    /// Delayed frames awaiting release: `(release_tick, frame)`.
+    held: VecDeque<(u64, Inbound)>,
+    /// Receive poll-pass counter; delayed frames mature against it.
+    tick: u64,
+    injected: Injected,
+    /// Token bucket for the bandwidth throttle.
+    bucket: f64,
+    bucket_at: Instant,
+}
+
+fn is_control(kind: FrameKind) -> bool {
+    matches!(
+        kind,
+        FrameKind::CtrlStatus
+            | FrameKind::CtrlStatusReply
+            | FrameKind::CtrlShutdown
+            | FrameKind::CtrlFault
+            | FrameKind::CtrlFaultReply
+    )
+}
+
+impl<T: Transport> FaultTransport<T> {
+    /// Wraps `inner` under `spec` (a no-op spec is exact pass-through).
+    pub fn new(inner: T, spec: FaultSpec) -> FaultTransport<T> {
+        FaultTransport {
+            inner,
+            spec,
+            out_index: HashMap::new(),
+            in_index: HashMap::new(),
+            held: VecDeque::new(),
+            tick: 0,
+            injected: Injected::default(),
+            bucket: 0.0,
+            bucket_at: Instant::now(),
+        }
+    }
+
+    /// The active spec.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Replaces the spec (daemons do this at cycle boundaries). Frames
+    /// already held by the old spec's delays still mature normally;
+    /// frame indices keep counting, so decisions stay a pure function
+    /// of the spec sequence and the frame sequence.
+    pub fn set_spec(&mut self, spec: FaultSpec) {
+        self.spec = spec;
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Blocks until the token bucket covers `bytes`, metering
+    /// `bandwidth_bytes_per_sec` (stall capped so the event loop cannot
+    /// wedge).
+    fn throttle(&mut self, bytes: usize) {
+        let bw = self.spec.bandwidth_bytes_per_sec;
+        if bw == 0 {
+            return;
+        }
+        let bw = bw as f64;
+        let now = Instant::now();
+        self.bucket += now.duration_since(self.bucket_at).as_secs_f64() * bw;
+        self.bucket_at = now;
+        // Burst cap: one second of budget.
+        self.bucket = self.bucket.min(bw);
+        let need = bytes as f64;
+        if self.bucket < need {
+            let wait = Duration::from_secs_f64((need - self.bucket) / bw).min(MAX_THROTTLE_STALL);
+            std::thread::sleep(wait);
+            self.bucket += wait.as_secs_f64() * bw;
+            self.bucket_at = Instant::now();
+            self.injected.throttled += 1;
+        }
+        self.bucket -= need;
+    }
+
+    /// Applies inbound faults to one frame: `None` if dropped or held
+    /// for later release.
+    fn admit(&mut self, ib: Inbound) -> Option<Inbound> {
+        if is_control(ib.frame.kind) {
+            return Some(ib);
+        }
+        let from = ib.frame.from;
+        if self.spec.severs(from) {
+            self.injected.dropped += 1;
+            return None;
+        }
+        let idx = self.in_index.entry(from).or_insert(0);
+        let i = *idx;
+        *idx += 1;
+        let d = self
+            .spec
+            .decide(FaultDir::Inbound, from, self.inner.local_addr(), i);
+        if d.drop {
+            self.injected.dropped += 1;
+            return None;
+        }
+        if d.delay_polls > 0 {
+            self.injected.delayed += 1;
+            self.held.push_back((self.tick + d.delay_polls as u64, ib));
+            return None;
+        }
+        Some(ib)
+    }
+
+    /// Removes and returns the first held frame whose release tick has
+    /// matured.
+    fn pop_ready(&mut self) -> Option<Inbound> {
+        let pos = self.held.iter().position(|(t, _)| *t <= self.tick)?;
+        self.held.remove(pos).map(|(_, ib)| ib)
+    }
+}
+
+impl<T: Transport> Transport for FaultTransport<T> {
+    fn local_addr(&self) -> Addr {
+        self.inner.local_addr()
+    }
+
+    fn send_to(&mut self, to: Addr, frame: &Frame) -> bool {
+        if self.spec.is_noop() || is_control(frame.kind) {
+            return self.inner.send_to(to, frame);
+        }
+        if self.spec.severs(to) {
+            // Severed peers swallow frames silently: the sender sees a
+            // healthy write, exactly like a mid-path partition.
+            self.injected.dropped += 1;
+            return true;
+        }
+        let idx = self.out_index.entry(to).or_insert(0);
+        let i = *idx;
+        *idx += 1;
+        let d = self
+            .spec
+            .decide(FaultDir::Outbound, self.inner.local_addr(), to, i);
+        if d.reset {
+            self.injected.resets += 1;
+            self.inner.reset(to);
+        }
+        if d.drop {
+            self.injected.dropped += 1;
+            return true;
+        }
+        let wire_len = crate::frame::FRAME_HEADER_BYTES + frame.payload.len();
+        self.throttle(wire_len);
+        let sent = self.inner.send_to(to, frame);
+        if sent && d.duplicate {
+            self.injected.duplicated += 1;
+            self.throttle(wire_len);
+            let _ = self.inner.send_to(to, frame);
+        }
+        sent
+    }
+
+    fn respond(&mut self, conn: ConnId, frame: &Frame) -> bool {
+        // Replies ride the connection a request arrived on; the
+        // initiator's own inbound faults already cover this direction,
+        // so responses pass through untouched.
+        self.inner.respond(conn, frame)
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Option<Inbound> {
+        if self.spec.is_noop() && self.held.is_empty() {
+            return self.inner.recv(timeout);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            // One poll pass: matured held frames first (they are older
+            // than anything still in the socket), then drain the inner
+            // transport, admitting each frame through the fault filter.
+            self.tick += 1;
+            if let Some(ib) = self.pop_ready() {
+                return Some(ib);
+            }
+            while let Some(ib) = self.inner.recv(Duration::ZERO) {
+                if let Some(ib) = self.admit(ib) {
+                    return Some(ib);
+                }
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(POLL_SLEEP);
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        let mut s = self.inner.stats();
+        s.frames_dropped_injected = self.injected.dropped;
+        s.frames_delayed = self.injected.delayed;
+        s.frames_duplicated = self.injected.duplicated;
+        s.resets_injected = self.injected.resets;
+        s.frames_throttled = self.injected.throttled;
+        s
+    }
+
+    fn reset(&mut self, peer: Addr) {
+        self.inner.reset(peer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::TcpTransport;
+    use std::net::TcpListener;
+
+    fn bind_any() -> TcpTransport {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        drop(listener);
+        TcpTransport::bind(port as Addr, Duration::from_millis(200), 1 << 20).unwrap()
+    }
+
+    fn oneway(from: Addr, body: &[u8]) -> Frame {
+        Frame::new(FrameKind::Oneway, from, body.to_vec())
+    }
+
+    #[test]
+    fn noop_spec_is_pass_through() {
+        let mut a = FaultTransport::new(bind_any(), FaultSpec::default());
+        let mut b = FaultTransport::new(bind_any(), FaultSpec::default());
+        let f = oneway(a.local_addr(), b"hello");
+        assert!(a.send_to(b.local_addr(), &f));
+        let got = b.recv(Duration::from_millis(500)).expect("delivered");
+        assert_eq!(got.frame, f);
+        let s = b.stats();
+        assert_eq!(s.frames_dropped_injected, 0);
+        assert_eq!(s.frames_delayed, 0);
+        assert_eq!(s.frames_in, 1);
+    }
+
+    #[test]
+    fn full_drop_loses_gossip_but_not_control() {
+        let spec = FaultSpec::parse("seed=1,drop=1.0").unwrap();
+        let mut a = FaultTransport::new(bind_any(), spec.clone());
+        let mut b = FaultTransport::new(bind_any(), spec);
+        let f = oneway(a.local_addr(), b"doomed");
+        assert!(a.send_to(b.local_addr(), &f), "drop is silent");
+        assert!(b.recv(Duration::from_millis(100)).is_none());
+        assert_eq!(a.stats().frames_dropped_injected, 1);
+        // Control frames are exempt even at drop=1.
+        let c = Frame::new(FrameKind::CtrlStatus, 0, vec![]);
+        assert!(a.send_to(b.local_addr(), &c));
+        let got = b.recv(Duration::from_millis(500)).expect("control exempt");
+        assert_eq!(got.frame.kind, FrameKind::CtrlStatus);
+    }
+
+    #[test]
+    fn severed_peers_are_cut_both_ways() {
+        let mut a = FaultTransport::new(bind_any(), FaultSpec::default());
+        let b_inner = bind_any();
+        let spec = FaultSpec::parse(&format!("sever={}", a.local_addr())).unwrap();
+        let mut b = FaultTransport::new(b_inner, spec);
+        // a -> b: arrives at b's socket but b's inbound filter eats it.
+        assert!(a.send_to(b.local_addr(), &oneway(a.local_addr(), b"in")));
+        assert!(b.recv(Duration::from_millis(100)).is_none());
+        assert_eq!(b.stats().frames_dropped_injected, 1);
+        // b -> a: swallowed before the socket.
+        assert!(b.send_to(a.local_addr(), &oneway(b.local_addr(), b"out")));
+        assert!(a.recv(Duration::from_millis(100)).is_none());
+        assert_eq!(b.stats().frames_dropped_injected, 2);
+        // Healing (noop spec) restores the link in both directions.
+        b.set_spec(FaultSpec::default());
+        assert!(a.send_to(b.local_addr(), &oneway(a.local_addr(), b"in2")));
+        assert!(b.recv(Duration::from_millis(500)).is_some());
+        assert!(b.send_to(a.local_addr(), &oneway(b.local_addr(), b"out2")));
+        assert!(a.recv(Duration::from_millis(500)).is_some());
+    }
+
+    #[test]
+    fn delays_hold_then_release_within_the_bound() {
+        let spec = FaultSpec::parse("seed=2,delay=1.0:3").unwrap();
+        let mut a = FaultTransport::new(bind_any(), FaultSpec::default());
+        let mut b = FaultTransport::new(bind_any(), spec);
+        for i in 0..5u8 {
+            assert!(a.send_to(b.local_addr(), &oneway(a.local_addr(), &[i])));
+        }
+        // All five frames must still arrive — delayed, never lost.
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while got.len() < 5 && Instant::now() < deadline {
+            if let Some(ib) = b.recv(Duration::from_millis(50)) {
+                got.push(ib.frame.payload[0]);
+            }
+        }
+        assert_eq!(got.len(), 5, "delayed frames were lost");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        assert_eq!(b.stats().frames_delayed, 5);
+        assert_eq!(b.stats().frames_dropped_injected, 0);
+    }
+
+    #[test]
+    fn duplication_sends_twice() {
+        let spec = FaultSpec::parse("seed=3,dup=1.0").unwrap();
+        let mut a = FaultTransport::new(bind_any(), spec);
+        let mut b = FaultTransport::new(bind_any(), FaultSpec::default());
+        assert!(a.send_to(b.local_addr(), &oneway(a.local_addr(), b"twin")));
+        assert_eq!(a.stats().frames_duplicated, 1);
+        assert!(b.recv(Duration::from_millis(500)).is_some());
+        assert!(b.recv(Duration::from_millis(500)).is_some());
+        assert_eq!(b.stats().frames_in, 2);
+    }
+
+    #[test]
+    fn resets_tear_down_the_cached_dial() {
+        let spec = FaultSpec::parse("seed=4,reset=1.0").unwrap();
+        let mut a = FaultTransport::new(bind_any(), spec);
+        let mut b = FaultTransport::new(bind_any(), FaultSpec::default());
+        assert!(a.send_to(b.local_addr(), &oneway(a.local_addr(), b"x")));
+        assert!(a.send_to(b.local_addr(), &oneway(a.local_addr(), b"y")));
+        assert_eq!(a.stats().resets_injected, 2);
+        // Both frames still arrive — resets force redials, not loss.
+        assert!(b.recv(Duration::from_millis(500)).is_some());
+        assert!(b.recv(Duration::from_millis(500)).is_some());
+        // Each send re-dialed from scratch.
+        assert!(a.stats().peak_conns >= 1);
+        assert!(b.stats().peak_conns >= 2);
+    }
+}

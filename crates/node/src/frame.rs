@@ -42,6 +42,11 @@ pub enum FrameKind {
     CtrlStatusReply,
     /// Control channel: ask the daemon to exit its run loop.
     CtrlShutdown,
+    /// Control channel: install an encoded [`sc_core::FaultSpec`] at the
+    /// next cycle boundary.
+    CtrlFault,
+    /// Control channel: acknowledges a [`FrameKind::CtrlFault`].
+    CtrlFaultReply,
 }
 
 impl FrameKind {
@@ -55,6 +60,8 @@ impl FrameKind {
             FrameKind::CtrlStatus => 6,
             FrameKind::CtrlStatusReply => 7,
             FrameKind::CtrlShutdown => 8,
+            FrameKind::CtrlFault => 9,
+            FrameKind::CtrlFaultReply => 10,
         }
     }
 
@@ -68,6 +75,8 @@ impl FrameKind {
             6 => Some(FrameKind::CtrlStatus),
             7 => Some(FrameKind::CtrlStatusReply),
             8 => Some(FrameKind::CtrlShutdown),
+            9 => Some(FrameKind::CtrlFault),
+            10 => Some(FrameKind::CtrlFaultReply),
             _ => None,
         }
     }

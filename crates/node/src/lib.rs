@@ -10,6 +10,8 @@
 //!   `wire::decode_message`, with per-connection read budgets.
 //! * [`transport`] — the `Transport` trait and its TCP implementation
 //!   with connect/read timeouts and deterministic retry/backoff.
+//! * [`fault`] — a deterministic fault-injecting `Transport` wrapper
+//!   (seeded drop/delay/duplication, partitions, resets, throttling).
 //! * [`control`] — the control-socket status protocol test harnesses
 //!   scrape live state through.
 //! * [`daemon`] — the event loop: clock-driven gossip cycles, blocking
@@ -23,11 +25,13 @@
 pub mod config;
 pub mod control;
 pub mod daemon;
+pub mod fault;
 pub mod frame;
 pub mod transport;
 
 pub use config::NodeConfig;
 pub use control::{ControlClient, StatusReport};
 pub use daemon::Daemon;
+pub use fault::FaultTransport;
 pub use frame::{Frame, FrameError, FrameKind, FRAME_HEADER_BYTES};
 pub use transport::{TcpTransport, Transport};

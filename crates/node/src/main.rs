@@ -80,6 +80,9 @@ Timing:
                          linger serving control scrapes (default 0 = off)
   --linger-ms <n>        max linger before self-exit (default 30000)
   --rpc-timeout-ms <n>   per-RPC reply deadline (default 40)
+  --rpc-retransmits <n>  byte-identical resends of an unanswered RPC
+                         request inside its deadline (default 1; never a
+                         re-emission, so §IV-B stays intact)
 
 Protocol:
   --view-len <n>         view size l (default 20)
@@ -92,4 +95,20 @@ Durability:
                          and recover from it on boot; a kill -9'd daemon
                          restarted here cannot self-incriminate
                          (default: in-memory only)
+
+Fault injection (deterministic; every decision replays from the seed):
+  --fault-spec <spec>    comma-separated key=value entries:
+                           seed=<u64>        decision seed
+                           drop=<p>          drop probability, both ways
+                           drop_in=<p>       inbound drop probability
+                           drop_out=<p>      outbound drop probability
+                           delay=<p>:<w>     delay probability : max held
+                                             receive polls (reorder bound)
+                           dup=<p>           outbound duplication
+                           reset=<p>         forced connection resets
+                           bw=<bytes/s>      outbound bandwidth throttle
+                           sever=<p1>+<p2>   cut these peers off entirely
+                         control frames are always exempt; harnesses can
+                         replace the spec mid-run via CtrlFault frames,
+                         applied at the next cycle boundary
 ";

@@ -49,6 +49,17 @@ pub struct TransportStats {
     pub connect_failures: u64,
     /// Connections dropped for framing violations.
     pub poisoned_conns: u64,
+    /// Frames dropped by injected faults (`FaultTransport` only; zero on
+    /// a clean network).
+    pub frames_dropped_injected: u64,
+    /// Frames held back by injected delay/reorder.
+    pub frames_delayed: u64,
+    /// Frames sent twice by injected duplication.
+    pub frames_duplicated: u64,
+    /// Cached connections torn down by injected resets.
+    pub resets_injected: u64,
+    /// Frames stalled by the injected bandwidth throttle.
+    pub frames_throttled: u64,
 }
 
 /// What the daemon requires from a byte-moving layer.
@@ -65,6 +76,13 @@ pub trait Transport {
     fn recv(&mut self, timeout: Duration) -> Option<Inbound>;
     /// Transport counters.
     fn stats(&self) -> TransportStats;
+    /// Tears down any cached outbound connection to `peer`, forcing the
+    /// next send to redial. Fault injection uses this to simulate
+    /// connection resets; transports without connection caches may
+    /// ignore it.
+    fn reset(&mut self, peer: Addr) {
+        let _ = peer;
+    }
 }
 
 /// Per-peer dial backoff: deterministic exponential schedule
@@ -100,6 +118,9 @@ pub struct TcpTransport {
 
 const BACKOFF_BASE: Duration = Duration::from_millis(50);
 const BACKOFF_MAX_SHIFT: u32 = 5;
+/// Cap on tracked backoff entries: under heavy churn dead peers would
+/// otherwise accumulate one entry each for the life of the transport.
+const BACKOFF_MAX_ENTRIES: usize = 128;
 const POLL_SLEEP: Duration = Duration::from_micros(500);
 
 impl TcpTransport {
@@ -216,6 +237,9 @@ impl TcpTransport {
                 self.stats.connect_failures += 1;
                 let failures = self.backoff.get(&to).map_or(0, |b| b.failures) + 1;
                 let delay = BACKOFF_BASE * 2u32.pow((failures - 1).min(BACKOFF_MAX_SHIFT));
+                if !self.backoff.contains_key(&to) && self.backoff.len() >= BACKOFF_MAX_ENTRIES {
+                    self.prune_backoff(now);
+                }
                 self.backoff.insert(
                     to,
                     Backoff {
@@ -226,6 +250,32 @@ impl TcpTransport {
                 None
             }
         }
+    }
+
+    /// Frees backoff slots: first every entry whose retry window already
+    /// passed (it carries no schedule the next dial wouldn't recompute
+    /// from scratch anyway — losing the failure count just restarts the
+    /// exponential ladder at its shortest rung), then, if none had, the
+    /// entry closest to expiry.
+    fn prune_backoff(&mut self, now: Instant) {
+        let before = self.backoff.len();
+        self.backoff.retain(|_, b| b.retry_at > now);
+        if self.backoff.len() == before {
+            if let Some(&victim) = self
+                .backoff
+                .iter()
+                .min_by_key(|(_, b)| b.retry_at)
+                .map(|(a, _)| a)
+            {
+                self.backoff.remove(&victim);
+            }
+        }
+    }
+
+    /// Number of peers currently tracked by the backoff schedule
+    /// (bounded by the eviction policy; exposed for regression tests).
+    pub fn backoff_len(&self) -> usize {
+        self.backoff.len()
     }
 
     /// One non-blocking pass: accept pending dials, then read up to the
@@ -337,6 +387,12 @@ impl Transport for TcpTransport {
         s.active_conns = self.conns.len() as u64;
         s
     }
+
+    fn reset(&mut self, peer: Addr) {
+        if let Some(id) = self.dialed.remove(&peer) {
+            self.drop_conn(id);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -384,6 +440,57 @@ mod tests {
         // Within the backoff window the dial is skipped entirely.
         assert!(!a.send_to(dead, &f));
         assert_eq!(a.stats().connect_failures, failures);
+    }
+
+    #[test]
+    fn backoff_map_stays_bounded_under_long_churn() {
+        let mut a = bind_any(Duration::from_millis(10));
+        // Reserve a block of ports nothing listens on, then dial each
+        // one: every attempt fails (immediate ECONNREFUSED on loopback)
+        // and wants a backoff slot.
+        let dead: Vec<Addr> = (0..BACKOFF_MAX_ENTRIES + 200)
+            .map(|_| {
+                let l = TcpListener::bind("127.0.0.1:0").unwrap();
+                l.local_addr().unwrap().port() as Addr
+            })
+            .collect();
+        let f = Frame::new(FrameKind::Oneway, a.local_addr(), vec![]);
+        for &port in &dead {
+            assert!(!a.send_to(port, &f));
+        }
+        assert!(
+            a.backoff_len() <= BACKOFF_MAX_ENTRIES,
+            "backoff map grew to {} entries",
+            a.backoff_len()
+        );
+        // A successful dial clears its own entry.
+        let mut c = bind_any(Duration::from_millis(200));
+        let target = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port() as Addr
+        };
+        assert!(!c.send_to(target, &f));
+        assert_eq!(c.backoff_len(), 1);
+        let mut d = TcpTransport::bind(target, Duration::from_millis(200), 1 << 20).unwrap();
+        std::thread::sleep(2 * BACKOFF_BASE);
+        assert!(c.send_to(target, &f));
+        assert_eq!(c.backoff_len(), 0, "successful dial evicts its entry");
+        assert!(d.recv(Duration::from_millis(500)).is_some());
+    }
+
+    #[test]
+    fn reset_drops_the_cached_dial() {
+        let mut a = bind_any(Duration::from_millis(200));
+        let mut b = bind_any(Duration::from_millis(200));
+        let f = Frame::new(FrameKind::Oneway, a.local_addr(), b"x".to_vec());
+        assert!(a.send_to(b.local_addr(), &f));
+        assert_eq!(a.stats().active_conns, 1);
+        a.reset(b.local_addr());
+        assert_eq!(a.stats().active_conns, 0);
+        // The next send redials transparently.
+        assert!(a.send_to(b.local_addr(), &f));
+        assert!(b.recv(Duration::from_millis(500)).is_some());
+        assert!(b.recv(Duration::from_millis(500)).is_some());
     }
 
     #[test]

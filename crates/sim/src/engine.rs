@@ -348,6 +348,37 @@ impl<N: SimNode> Engine<N> {
         self.clock.advance();
     }
 
+    /// Runs one cycle with an interruption: the first `after_turns`
+    /// turns of the shuffled order run, then `mid` gets mutable access
+    /// to the engine (kill or restart nodes, inject messages), then the
+    /// remaining turns run and the clock advances. This models faults
+    /// landing *inside* a gossip cycle — e.g. a crash after a node
+    /// already answered some exchanges but before its checkpoint — which
+    /// boundary-aligned fault hooks structurally cannot express.
+    ///
+    /// Turns always run sequentially here regardless of the configured
+    /// [`Execution`] mode: an interruption point inside a striped cycle
+    /// has no deterministic position. The shuffled order and message
+    /// delivery match [`Engine::run_cycle`] exactly, so a run that
+    /// interrupts after `order.len()` turns is bit-identical to an
+    /// uninterrupted sequential cycle plus a boundary hook.
+    pub fn run_cycle_interrupted<F>(&mut self, after_turns: usize, mid: F)
+    where
+        F: FnOnce(&mut Self),
+    {
+        self.deliver_pending();
+
+        let mut order: Vec<Addr> = self.arena.live_addrs().to_vec();
+        order.shuffle(&mut self.rng);
+
+        let cut = after_turns.min(order.len());
+        self.run_turns_sequential(&order[..cut]);
+        mid(self);
+        self.run_turns_sequential(&order[cut..]);
+
+        self.clock.advance();
+    }
+
     /// Runs `n` cycles back to back.
     pub fn run_cycles(&mut self, n: u64)
     where

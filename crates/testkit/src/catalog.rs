@@ -178,7 +178,10 @@ pub fn standard_matrix(size: MatrixSize) -> Vec<Scenario> {
             // stays on: recovery must never resurrect a descriptor whose
             // ownership left in a previous life.
             .restart_at(mid, 0.25)
-            .restart_at(heal, 0.25)
+            // The second wave strikes *inside* a cycle, halfway through
+            // the turn order: nodes that already gossiped this cycle are
+            // replaced by recovered instances before the rest fire.
+            .restart_mid_cycle_at(heal, 0.25, 0.5)
             .oracles(honest_oracles(size, Some(0.5))),
         Scenario::new("honest-churn", n)
             .cycles(cycles)

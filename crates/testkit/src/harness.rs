@@ -50,6 +50,10 @@ pub struct ClusterConfig {
     /// Required for [`ProcessCluster::restart`]: a killed member's
     /// replacement recovers from `<dir>/sc-node-<addr>.log`.
     pub state_dir: Option<PathBuf>,
+    /// Fault spec every member boots with (`--fault-spec`). `None` spawns
+    /// clean; [`ProcessCluster::broadcast_fault`] can still inject faults
+    /// mid-run over the control channel.
+    pub fault_spec: Option<sc_core::FaultSpec>,
 }
 
 impl ClusterConfig {
@@ -67,12 +71,19 @@ impl ClusterConfig {
             stop_cycle: 0,
             start_delay_ms: 800,
             state_dir: None,
+            fault_spec: None,
         }
     }
 
     /// Runs every member with durable state under `dir`.
     pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> ClusterConfig {
         self.state_dir = Some(dir.into());
+        self
+    }
+
+    /// Boots every member with `spec` already installed.
+    pub fn with_fault_spec(mut self, spec: sc_core::FaultSpec) -> ClusterConfig {
+        self.fault_spec = Some(spec);
         self
     }
 }
@@ -166,6 +177,9 @@ impl ProcessCluster {
         if let Some(dir) = &c.state_dir {
             cmd.arg("--state-dir").arg(dir);
         }
+        if let Some(spec) = &c.fault_spec {
+            cmd.args(["--fault-spec", &spec.to_string()]);
+        }
         match sponsor {
             Some(s) => {
                 cmd.args(["--sponsor", &s.to_string()]);
@@ -214,6 +228,26 @@ impl ProcessCluster {
         let addrs = self.addrs();
         let reports: Vec<StatusReport> = addrs.iter().filter_map(|&a| self.status_of(a)).collect();
         (reports.len() == addrs.len()).then(|| NetSnapshot::from_reports(reports))
+    }
+
+    /// Reconfigures one member's fault injection over the control channel.
+    /// The daemon installs the new spec at its next cycle boundary, so no
+    /// gossip cycle straddles two specs. Control frames themselves are
+    /// exempt from injection, so this works even through a full partition.
+    pub fn set_fault(&self, addr: Addr, spec: &sc_core::FaultSpec) -> bool {
+        let timeout = Duration::from_millis(500);
+        let Ok(mut client) = ControlClient::connect(addr, timeout) else {
+            return false;
+        };
+        client.set_fault(spec, timeout).is_ok()
+    }
+
+    /// [`Self::set_fault`] for every live member; returns how many acked.
+    pub fn broadcast_fault(&self, spec: &sc_core::FaultSpec) -> usize {
+        self.addrs()
+            .into_iter()
+            .filter(|&a| self.set_fault(a, spec))
+            .count()
     }
 
     /// Waits until every member reports `joined` and a cycle ≥ `cycle`,

@@ -23,6 +23,9 @@
 //!   scrapes, so real processes are held to the same invariants.
 //! * [`harness`] — spawns, scrapes, churns, and stops fleets of real
 //!   `sc-node` processes on 127.0.0.1 for the loopback test tier.
+//! * [`live`] — shared drivers for the live test tiers (`loopback`,
+//!   `live_matrix`): the scrape-audit loop, the quiescent final checks,
+//!   and the `SC_NODE_SEED` replay-line convention.
 //! * [`runner`] — deterministic execution of a `(Scenario, seed)` pair,
 //!   including `kill -9`-style crash-restarts of durably backed nodes.
 //! * [`catalog`] — the standard 42-combination scenario matrix swept by
@@ -52,6 +55,7 @@
 
 pub mod catalog;
 pub mod harness;
+pub mod live;
 pub mod net;
 pub mod oracles;
 pub mod runner;
@@ -60,6 +64,7 @@ pub mod snapshot;
 
 pub use catalog::{standard_matrix, MatrixSize, MATRIX_SEEDS};
 pub use harness::{ClusterConfig, ProcessCluster};
+pub use live::{check_final, drive, env_seed, replay_line, RunOutcome};
 pub use net::{
     blacklist_coverage, build_secure_network, eclipsed_fraction, malicious_link_fraction,
     ns_link_fraction, proofs_generated, SecureNet, SecureNetParams, SecureNetwork,

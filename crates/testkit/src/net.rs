@@ -237,27 +237,71 @@ impl SecureNetwork {
     /// randomness (a rebooted process has a new RNG). Returns `false`
     /// when the address is not an alive honest node with a backend.
     pub fn crash_restart(&mut self, addr: Addr) -> bool {
-        let Some((keypair, phase)) = self.honest_keys.get(&addr).cloned() else {
-            return false;
-        };
-        let backend = match self.engine.node_mut(addr) {
-            Some(SecureNet::Honest(node)) => match node.take_backend() {
-                Some(b) => b,
-                None => return false,
-            },
-            _ => return false,
-        };
-        let rng_seed = sc_sim::rng::derive_seed(self.seed, "restart", self.restarts);
-        self.restarts += 1;
-        let reborn =
-            SecureCyclonNode::with_backend(keypair, addr, self.cfg, rng_seed, phase, backend)
-                .expect("in-memory backends cannot fail to load");
-        let Some(slot) = self.engine.node_mut(addr) else {
-            return false;
-        };
-        *slot = SecureNet::Honest(Box::new(reborn));
-        true
+        crash_restart_in(
+            &mut self.engine,
+            &self.honest_keys,
+            self.cfg,
+            self.seed,
+            &mut self.restarts,
+            addr,
+        )
     }
+
+    /// Runs one cycle but crash-restarts `victims` *inside* it, after
+    /// the first `after_turns` of the cycle's shuffled turns — the case
+    /// boundary-aligned restarts structurally miss: a node dies having
+    /// already answered (or initiated) some of the cycle's exchanges,
+    /// with its durable log mid-cycle rather than at a checkpoint.
+    /// Victims whose own turn already ran restart with this cycle's
+    /// emission spent; the rest restart before emitting. Returns how
+    /// many victims actually restarted.
+    pub fn run_cycle_with_mid_restart(&mut self, after_turns: usize, victims: &[Addr]) -> usize {
+        let honest_keys = &self.honest_keys;
+        let cfg = self.cfg;
+        let seed = self.seed;
+        let restarts = &mut self.restarts;
+        let mut done = 0usize;
+        self.engine.run_cycle_interrupted(after_turns, |engine| {
+            for &addr in victims {
+                if crash_restart_in(engine, honest_keys, cfg, seed, restarts, addr) {
+                    done += 1;
+                }
+            }
+        });
+        done
+    }
+}
+
+/// [`SecureNetwork::crash_restart`]'s body as a free function over
+/// disjoint borrows, so mid-cycle interruption closures (which hold the
+/// engine mutably) can restart nodes too.
+fn crash_restart_in(
+    engine: &mut Engine<SecureNet>,
+    honest_keys: &HashMap<Addr, (Keypair, u64)>,
+    cfg: SecureConfig,
+    seed: u64,
+    restarts: &mut u64,
+    addr: Addr,
+) -> bool {
+    let Some((keypair, phase)) = honest_keys.get(&addr).cloned() else {
+        return false;
+    };
+    let backend = match engine.node_mut(addr) {
+        Some(SecureNet::Honest(node)) => match node.take_backend() {
+            Some(b) => b,
+            None => return false,
+        },
+        _ => return false,
+    };
+    let rng_seed = sc_sim::rng::derive_seed(seed, "restart", *restarts);
+    *restarts += 1;
+    let reborn = SecureCyclonNode::with_backend(keypair, addr, cfg, rng_seed, phase, backend)
+        .expect("in-memory backends cannot fail to load");
+    let Some(slot) = engine.node_mut(addr) else {
+        return false;
+    };
+    *slot = SecureNet::Honest(Box::new(reborn));
+    true
 }
 
 /// Builds one honest node, durably backed when asked. The simulated tier
@@ -547,6 +591,34 @@ mod tests {
             proofs_generated(&net.engine),
             (0, 0),
             "no self-incrimination"
+        );
+    }
+
+    #[test]
+    fn mid_cycle_crash_restart_stays_clean() {
+        let mut net = build_secure_network(durable_params(24));
+        for _ in 0..10 {
+            net.engine.run_cycle();
+        }
+        let ids: Vec<_> = [3, 7]
+            .iter()
+            .map(|&a| net.engine.node(a).unwrap().honest().unwrap().id())
+            .collect();
+        // Kill both victims halfway through the cycle's turns: some
+        // exchanges (possibly their own emission) already happened.
+        assert_eq!(net.run_cycle_with_mid_restart(12, &[3, 7]), 2);
+        for _ in 0..5 {
+            net.engine.run_cycle();
+        }
+        for (i, &a) in [3, 7].iter().enumerate() {
+            let h = net.engine.node(a).unwrap().honest().unwrap();
+            assert_eq!(h.id(), ids[i], "identity survives");
+            assert!(!h.view().is_empty(), "view recovered");
+        }
+        assert_eq!(
+            proofs_generated(&net.engine),
+            (0, 0),
+            "a mid-cycle crash must not make a durable node accuse itself"
         );
     }
 

@@ -105,6 +105,21 @@ pub enum Event {
         /// Fraction of alive honest nodes crash-restarted.
         frac: f64,
     },
+    /// Like [`Event::Restart`], but the crashes land *inside* the
+    /// cycle: the victims die after a seeded `turn_frac` fraction of
+    /// the cycle's shuffled turns already ran, so some victims have
+    /// already emitted this cycle and their durable logs sit mid-cycle
+    /// rather than at a checkpoint. Forces the cycle to run
+    /// sequentially (an interruption point inside a striped cycle has
+    /// no deterministic position).
+    RestartMidCycle {
+        /// Step whose cycle is interrupted.
+        step: u64,
+        /// Fraction of alive honest nodes crash-restarted.
+        frac: f64,
+        /// Fraction of the cycle's turns that run before the crash.
+        turn_frac: f64,
+    },
 }
 
 impl Event {
@@ -115,7 +130,8 @@ impl Event {
             | Event::Heal { step }
             | Event::SetLoss { step, .. }
             | Event::Kill { step, .. }
-            | Event::Restart { step, .. } => *step,
+            | Event::Restart { step, .. }
+            | Event::RestartMidCycle { step, .. } => *step,
         }
     }
 }
@@ -327,6 +343,20 @@ impl Scenario {
         self
     }
 
+    /// Like [`Scenario::restart_at`], but the crashes strike after a
+    /// `turn_frac` fraction of that cycle's turns have already run —
+    /// mid-cycle, the case checkpoint-boundary restarts cannot cover
+    /// (implies [`Scenario::durable`]).
+    pub fn restart_mid_cycle_at(mut self, step: u64, frac: f64, turn_frac: f64) -> Self {
+        self.durable = true;
+        self.events.push(Event::RestartMidCycle {
+            step,
+            frac,
+            turn_frac,
+        });
+        self
+    }
+
     /// Gives every honest node a durable state backend without scheduling
     /// any restart (e.g. to measure the checkpoint overhead alone).
     pub fn durable(mut self) -> Self {
@@ -388,9 +418,9 @@ impl Scenario {
 
     /// Whether any scheduled event crash-restarts nodes.
     pub fn has_restart(&self) -> bool {
-        self.events
-            .iter()
-            .any(|e| matches!(e, Event::Restart { .. }))
+        self.events.iter().any(|e| {
+            matches!(e, Event::Restart { .. }) || matches!(e, Event::RestartMidCycle { .. })
+        })
     }
 }
 
@@ -423,6 +453,10 @@ mod tests {
         assert!(sc.durable);
         assert!(sc.has_restart());
         assert_eq!(sc.events[0].step(), 10);
+        let mid = Scenario::new("m", 32).restart_mid_cycle_at(12, 0.25, 0.5);
+        assert!(mid.durable);
+        assert!(mid.has_restart());
+        assert_eq!(mid.events[0].step(), 12);
         assert!(Scenario::new("d", 32).durable().durable);
         assert!(Scenario::new("f", 32).heal_fallback().runner_heal_fallback);
     }
